@@ -1,0 +1,95 @@
+// Command snapea-bench regenerates the paper's tables and figures
+// (Section VI) on the synthetic reproduction pipeline. Run with no flags
+// to produce everything, or pick one experiment:
+//
+//	snapea-bench -exp fig8
+//	snapea-bench -exp fig11 -nets alexnet,googlenet
+//	snapea-bench -exp all -v
+//
+// Known experiments: fig1 fig2 table1 table2 table3 fig8 fig9 fig10
+// table4 table5 fig11 fig12 ablations all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snapea/internal/experiments"
+	"snapea/internal/models"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig1 fig2 table1 table2 table3 fig8 fig9 fig10 table4 table5 fig11 fig12 ablations all)")
+	nets := flag.String("nets", "", "comma-separated networks (default: alexnet,googlenet,squeezenet,vggnet)")
+	scale := flag.String("scale", "reduced", "model scale: reduced or full")
+	eps := flag.Float64("eps", 0.03, "acceptable accuracy loss for the predictive mode")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	verbose := flag.Bool("v", false, "stream optimizer progress")
+	testImgs := flag.Int("test-images", 0, "held-out test images per network (0 = suite default)")
+	optImgs := flag.Int("opt-images", 0, "optimization-set images (0 = suite default)")
+	trainImgs := flag.Int("train-images", 0, "classifier-head training images (0 = suite default)")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:        *seed,
+		Epsilon:     *eps,
+		Verbose:     *verbose,
+		Out:         os.Stdout,
+		TestImages:  *testImgs,
+		OptImages:   *optImgs,
+		TrainImages: *trainImgs,
+	}
+	if *scale == "full" {
+		cfg.Scale = models.Full
+	}
+	if *nets != "" {
+		cfg.Networks = strings.Split(*nets, ",")
+	}
+	s := experiments.New(cfg)
+
+	run := map[string]func(){
+		"fig1":   func() { s.Fig1() },
+		"fig2":   func() { s.Fig2() },
+		"table1": func() { s.Table1() },
+		"table2": func() { s.Table2() },
+		"table3": func() { s.Table3() },
+		"fig8":   func() { s.Fig8() },
+		"fig9":   func() { s.Fig9() },
+		"fig10":  func() { s.Fig10() },
+		"table4": func() { s.Table4() },
+		"table5": func() { s.Table5() },
+		"fig11":  func() { s.Fig11() },
+		"fig12":  func() { s.Fig12() },
+		"ablations": func() {
+			s.AblationPrefix()
+			s.AblationNegOrder()
+			s.AblationLaneSync()
+			s.AblationQuantization()
+			s.AblationFC()
+		},
+		"pruning":  func() { s.PruningExperiment() },
+		"sparsity": func() { s.SparsityComparison() },
+		"all": func() {
+			s.RunAll()
+			fmt.Println()
+			s.AblationPrefix()
+			s.AblationNegOrder()
+			s.AblationLaneSync()
+			s.AblationQuantization()
+			s.AblationFC()
+			fmt.Println()
+			s.PruningExperiment()
+			fmt.Println()
+			s.SparsityComparison()
+		},
+	}
+	f, ok := run[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "snapea-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	f()
+}

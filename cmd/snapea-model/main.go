@@ -1,0 +1,88 @@
+// Command snapea-model inspects a network topology: per-layer output
+// shapes, parameter counts and convolution MACs, plus the Table I
+// summary — at either scale, without running anything.
+//
+//	snapea-model -net googlenet -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snapea/internal/models"
+	"snapea/internal/nn"
+	"snapea/internal/report"
+	"snapea/internal/tensor"
+)
+
+func main() {
+	net := flag.String("net", "alexnet", "network (alexnet googlenet squeezenet vggnet lenet tinynet)")
+	scale := flag.String("scale", "full", "reduced or full")
+	classes := flag.Int("classes", 1000, "output classes")
+	flag.Parse()
+
+	opt := models.Options{Classes: *classes, SkipInit: true}
+	if *scale == "full" {
+		opt.Scale = models.Full
+	}
+	m, err := models.Build(*net, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapea-model:", err)
+		os.Exit(2)
+	}
+
+	t := report.Table{
+		Title:   fmt.Sprintf("%s (%s scale, input %v)", m.Name, *scale, m.InputShape),
+		Headers: []string{"Layer", "Type", "Output", "Params", "MACs"},
+	}
+	shapes := map[string]tensor.Shape{nn.InputName: m.InputShape}
+	var totalParams int
+	var totalMACs int64
+	for _, n := range m.Graph.Nodes() {
+		ins := make([]tensor.Shape, len(n.Inputs))
+		for i, name := range n.Inputs {
+			ins[i] = shapes[name]
+		}
+		out := n.Layer.OutShape(ins)
+		shapes[n.Name] = out
+		params, macs := 0, int64(0)
+		typ := fmt.Sprintf("%T", n.Layer)
+		switch l := n.Layer.(type) {
+		case *nn.Conv2D:
+			typ = fmt.Sprintf("conv %dx%d/%d", l.KH, l.KW, l.StrideH)
+			if l.Groups > 1 {
+				typ += fmt.Sprintf(" g%d", l.Groups)
+			}
+			params = l.ParamCount()
+			macs = int64(l.KernelSize()) * int64(out.C) * int64(out.H) * int64(out.W)
+		case *nn.FC:
+			typ = "fc"
+			params = l.ParamCount()
+			macs = int64(l.In) * int64(l.Out)
+		case *nn.MaxPool2D:
+			typ = fmt.Sprintf("maxpool %d/%d", l.K, l.Stride)
+		case *nn.AvgPool2D:
+			typ = fmt.Sprintf("avgpool %d/%d", l.K, l.Stride)
+		case nn.GlobalAvgPool:
+			typ = "global avgpool"
+		case *nn.LRN:
+			typ = "lrn"
+		case nn.Concat:
+			typ = "concat"
+		case nn.Dropout:
+			typ = "dropout"
+		case nn.ReLU:
+			typ = "relu"
+		case nn.Softmax:
+			typ = "softmax"
+		}
+		totalParams += params
+		totalMACs += macs
+		t.Add(n.Name, typ, out.String(), fmt.Sprint(params), fmt.Sprint(macs))
+	}
+	t.Render(os.Stdout)
+	d := m.Describe()
+	fmt.Printf("\n%d conv layers, %d FC layers, %.1f MB of weights, %.2fG MACs/image\n",
+		d.ConvLayers, d.FCLayers, d.ModelSizeMB, float64(totalMACs)/1e9)
+}

@@ -1,0 +1,84 @@
+// Command snapea-sim cycle-simulates one network on the SnaPEA
+// accelerator and the EYERISS baseline and prints per-layer cycles,
+// energy and the resulting speedup.
+//
+//	snapea-sim -net squeezenet -mode exact
+//	snapea-sim -net googlenet -mode predictive -eps 0.03 -lanes 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snapea/internal/experiments"
+	"snapea/internal/report"
+	"snapea/internal/sim"
+)
+
+func main() {
+	net := flag.String("net", "squeezenet", "network to simulate")
+	mode := flag.String("mode", "exact", "exact or predictive")
+	eps := flag.Float64("eps", 0.03, "accuracy budget for predictive mode")
+	lanes := flag.Float64("lanes", 1, "lane-count factor relative to the default 4 (0.5, 1, 2, 4)")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	layers := flag.Bool("layers", false, "print per-layer breakdown")
+	flag.Parse()
+
+	s := experiments.New(experiments.Config{
+		Networks: []string{*net},
+		Seed:     *seed,
+		Epsilon:  *eps,
+		Out:      os.Stderr,
+	})
+
+	var snap, base *sim.Result
+	switch *mode {
+	case "exact":
+		r := s.Exact(*net)
+		snap, base = r.Snap, r.Base
+	case "predictive":
+		r := s.Predictive(*net, *eps)
+		snap, base = r.Snap, r.Base
+	default:
+		fmt.Fprintf(os.Stderr, "snapea-sim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if *lanes != 1 {
+		// Re-simulate the same trace at a different lane count.
+		cfg := sim.SnaPEAConfig().WithLanes(*lanes)
+		var loads []*sim.LayerLoad
+		if *mode == "exact" {
+			r := s.Exact(*net)
+			loads = sim.LoadsFromTrace(r.Prep.Model, r.Trace, sim.Spills(r.Prep.Model))
+		} else {
+			r := s.Predictive(*net, *eps)
+			loads = sim.LoadsFromTrace(r.Prep.Model, r.Trace, sim.Spills(r.Prep.Model))
+		}
+		snap = sim.Simulate(cfg, loads)
+	}
+
+	fmt.Printf("network   : %s (%s mode)\n", *net, *mode)
+	fmt.Printf("snapea    : %s\n", snap)
+	fmt.Printf("eyeriss   : %s\n", base)
+	fmt.Printf("speedup   : %.2fx\n", snap.Speedup(base))
+	fmt.Printf("energy red: %.2fx\n", snap.EnergyReduction(base))
+	if *layers {
+		t := report.Table{
+			Title:   "Per-layer breakdown",
+			Headers: []string{"Layer", "SnaPEA cycles", "EYERISS cycles", "Speedup", "Util"},
+		}
+		baseBy := map[string]int64{}
+		for _, l := range base.Layers {
+			baseBy[l.Name] = l.Cycles
+		}
+		for _, l := range snap.Layers {
+			sp := 0.0
+			if l.Cycles > 0 {
+				sp = float64(baseBy[l.Name]) / float64(l.Cycles)
+			}
+			t.Add(l.Name, fmt.Sprint(l.Cycles), fmt.Sprint(baseBy[l.Name]), report.X(sp), report.F(l.Utilization, 2))
+		}
+		t.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,56 @@
+// Command snapea-trace profiles where convolution windows terminate
+// under SnaPEA execution: per-layer mean/percentile op fractions,
+// termination causes, and op-count histograms — the distribution view
+// behind the paper's Figures 4 and 5.
+//
+//	snapea-trace -net googlenet
+//	snapea-trace -net alexnet -hist -buckets 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snapea/internal/experiments"
+	"snapea/internal/report"
+	"snapea/internal/snapea"
+)
+
+func main() {
+	net := flag.String("net", "squeezenet", "network to trace")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	hist := flag.Bool("hist", false, "print per-layer op-count histograms")
+	buckets := flag.Int("buckets", 8, "histogram buckets")
+	flag.Parse()
+
+	s := experiments.New(experiments.Config{
+		Networks: []string{*net},
+		Seed:     *seed,
+		Out:      os.Stdout,
+	})
+	stats := s.StopProfile(*net)
+	if !*hist {
+		return
+	}
+
+	// Re-trace one image for the histograms.
+	p := s.Prepared(*net)
+	network := snapea.CompileExact(p.Model)
+	trace := snapea.NewNetTrace()
+	network.Forward(p.TestImgs[0], snapea.RunOpts{CollectWindows: true}, trace)
+	fmt.Println()
+	for _, st := range stats {
+		tr := trace.Layers[st.Node]
+		h := snapea.Histogram(tr, *buckets)
+		if h == nil {
+			continue
+		}
+		fmt.Printf("%s (K=%d):\n", st.Node, tr.KernelSize)
+		for i, v := range h {
+			label := fmt.Sprintf("  %3.0f%%-%3.0f%% of K",
+				100*float64(i)/float64(*buckets), 100*float64(i+1)/float64(*buckets))
+			fmt.Println(report.Bar(label, v, 1, 40))
+		}
+	}
+}

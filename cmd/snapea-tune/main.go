@@ -1,0 +1,80 @@
+// Command snapea-tune runs the paper's Algorithm 1 offline optimizer for
+// one network and writes the chosen speculation parameters (Th, N per
+// kernel) as JSON — the artifact the accelerator's weight/index buffers
+// are loaded from.
+//
+//	snapea-tune -net googlenet -eps 0.03 -o params.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snapea/internal/calib"
+	"snapea/internal/dataset"
+	"snapea/internal/models"
+	"snapea/internal/snapea"
+	"snapea/internal/tensor"
+	"snapea/internal/train"
+)
+
+func main() {
+	net := flag.String("net", "googlenet", "network to tune")
+	eps := flag.Float64("eps", 0.03, "acceptable accuracy loss ε")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	out := flag.String("o", "", "output JSON path (default stdout)")
+	optImgs := flag.Int("opt-images", 6, "optimization-set size")
+	verbose := flag.Bool("v", false, "log optimizer progress")
+	flag.Parse()
+
+	m, err := models.Build(*net, models.Options{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapea-tune:", err)
+		os.Exit(2)
+	}
+	samples := dataset.Generate(40+*optImgs, dataset.Config{HW: m.InputShape.H, Seed: *seed + 1})
+	trainSet, optSet := samples[:40], samples[40:]
+
+	calImgs := make([]*tensor.Tensor, 6)
+	for i := range calImgs {
+		calImgs[i] = trainSet[i].Image
+	}
+	calib.Calibrate(m, calImgs)
+
+	trImgs := make([]*tensor.Tensor, len(trainSet))
+	trLabels := make([]int, len(trainSet))
+	for i, s := range trainSet {
+		trImgs[i], trLabels[i] = s.Image, s.Label
+	}
+	train.TrainHead(m.Head, train.Features(m, trImgs), trLabels, train.Config{Seed: *seed})
+
+	imgs := make([]*tensor.Tensor, len(optSet))
+	lbls := make([]int, len(optSet))
+	for i, s := range optSet {
+		imgs[i], lbls[i] = s.Image, s.Label
+	}
+	network := snapea.CompileExact(m)
+	opt := snapea.NewOptimizer(network, m.Head, imgs, lbls, snapea.OptConfig{Epsilon: *eps})
+	if *verbose {
+		opt.SetLog(func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) })
+	}
+	res := opt.Run()
+
+	file := res.File(*net, *eps)
+	enc, err := file.Marshal()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapea-tune:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Println(string(enc))
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "snapea-tune:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "snapea-tune: wrote %s (%d predictive layers, loss %.3f)\n",
+		*out, len(file.Predictive), res.BaseAcc-res.FinalAcc)
+}

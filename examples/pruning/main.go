@@ -1,0 +1,53 @@
+// Pruning demonstrates the paper's complementarity argument end to end:
+// statically pruning SqueezeNet's weights and running SnaPEA's exact
+// mode on top. Zero weights vanish from the reordered execution stream
+// (the index buffer decouples execution order from storage order), and
+// the sign check keeps cutting the surviving MACs — the two techniques
+// remove different work, so their savings stack.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"snapea/internal/calib"
+	"snapea/internal/dataset"
+	"snapea/internal/models"
+	"snapea/internal/prune"
+	"snapea/internal/report"
+	"snapea/internal/snapea"
+	"snapea/internal/tensor"
+)
+
+func main() {
+	t := report.Table{
+		Title:   "Static pruning × dynamic early termination (SqueezeNet, exact mode)",
+		Headers: []string{"Sparsity", "Neg. Fraction", "Total MAC Reduction", "Dynamic Share"},
+	}
+	for _, sparsity := range []float64{0, 0.25, 0.5, 0.75} {
+		m, err := models.Build("squeezenet", models.Options{Seed: 42})
+		if err != nil {
+			panic(err)
+		}
+		prune.Convs(m, sparsity)
+		samples := dataset.Generate(10, dataset.Config{HW: m.InputShape.H, Seed: 5})
+		calImgs := make([]*tensor.Tensor, 6)
+		for i := range calImgs {
+			calImgs[i] = samples[i].Image
+		}
+		rep := calib.Calibrate(m, calImgs)
+
+		net := snapea.CompileExact(m)
+		trace := snapea.NewNetTrace()
+		for _, s := range samples[6:] {
+			net.Forward(s.Image, snapea.RunOpts{}, trace)
+		}
+		total := trace.Reduction()
+		static := prune.Sparsity(m)
+		t.Add(report.Pct(static), report.Pct(rep.Overall), report.Pct(total), report.Pct(total-static))
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\nPruning removes weights offline and input-agnostically;")
+	fmt.Println("SnaPEA removes work at runtime, per input. The column on the")
+	fmt.Println("right is what early activation adds on top of the static cut.")
+}

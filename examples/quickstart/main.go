@@ -1,0 +1,46 @@
+// Quickstart walks the paper's Figure 4 example — a 1×3 convolution with
+// weights (−5, +1, −1) and inputs (+1, +2, +6) — through the three
+// execution modes and prints how many multiply-accumulates each needs:
+//
+//	unaltered   3 MACs → output −9 → ReLU → 0
+//	exact       2 MACs (positive weight first, sign check stops at −3)
+//	predictive  1 MAC (partial +2 ≤ threshold ⇒ early activation)
+//
+// All three produce the same post-ReLU output: zero.
+package main
+
+import (
+	"fmt"
+
+	"snapea/internal/snapea"
+)
+
+func main() {
+	weights := []float32{-5, +1, -1}
+	inputs := []float32{+1, +2, +6}
+
+	// Unaltered convolution: every MAC runs.
+	full := float32(0)
+	for i, w := range weights {
+		full += w * inputs[i]
+	}
+	relu := full
+	if relu < 0 {
+		relu = 0
+	}
+	fmt.Printf("unaltered : 3 MACs, conv=%+g, ReLU→%g\n", full, relu)
+
+	// Exact mode: sign-based reordering + sign check. No accuracy loss.
+	exact := snapea.Reorder(weights, snapea.Exact, snapea.NegOriginal)
+	ops, out := exact.Op(exact.Gather(inputs), 0)
+	fmt.Printf("exact     : %d MACs, output %g (weights reordered to %v)\n", ops, out, exact.Weights)
+
+	// Predictive mode: one speculation weight (group selection picks the
+	// largest magnitude, −5) and threshold +2. The partial sum after a
+	// single MAC is −5 ≤ Th, so the ReLU fires early with zero — trading
+	// a possible misprediction for two fewer MACs.
+	pred := snapea.Reorder(weights, snapea.KernelParam{Th: 2, N: 1}, snapea.NegOriginal)
+	ops, out = pred.Op(pred.Gather(inputs), 0)
+	fmt.Printf("predictive: %d MAC, output %g (speculation prefix %v, Th=%+g)\n",
+		ops, out, pred.Weights[:pred.NumSpec], pred.Th)
+}

@@ -1,0 +1,3 @@
+module snapea
+
+go 1.22

@@ -1,0 +1,143 @@
+// Package calib adjusts convolution biases so each network reproduces the
+// paper's Figure 1: the fraction of convolution outputs that are negative
+// (and therefore zeroed by the fused ReLU). With zero-mean He-initialized
+// weights the fraction sits near 50% for every network; shifting each
+// output channel's bias by the target quantile of its pre-activation
+// distribution pins the fraction to the published per-network value,
+// which is the single quantity all of SnaPEA's savings derive from.
+package calib
+
+import (
+	"sort"
+
+	"snapea/internal/models"
+	"snapea/internal/nn"
+	"snapea/internal/tensor"
+)
+
+// Report records the outcome of a calibration pass.
+type Report struct {
+	Target float64
+	// PerLayer maps conv node name to the achieved negative fraction on
+	// the calibration batch.
+	PerLayer map[string]float64
+	// Overall is the element-weighted mean negative fraction.
+	Overall float64
+}
+
+// Calibrate shifts every ReLU-fused convolution's biases so that the
+// fraction of negative pre-activations on the given images equals the
+// model's PaperNegFrac target. It performs a single modified forward
+// pass: each conv layer is calibrated on the (already calibrated)
+// activations flowing out of the layers before it, exactly the
+// distribution it will see at inference time.
+func Calibrate(m *models.Model, images []*tensor.Tensor) Report {
+	return CalibrateTo(m, images, m.PaperNegFrac)
+}
+
+// CalibrateTo is Calibrate with an explicit target fraction in (0, 1).
+func CalibrateTo(m *models.Model, images []*tensor.Tensor, target float64) Report {
+	batch := Stack(images)
+	rep := Report{Target: target, PerLayer: make(map[string]float64)}
+	var totalElems, totalNeg float64
+	m.Graph.ForwardExec(batch, nil, func(node *nn.Node, ins []*tensor.Tensor) (*tensor.Tensor, bool) {
+		conv, ok := node.Layer.(*nn.Conv2D)
+		if !ok || !conv.ReLU {
+			return nil, false
+		}
+		pre := conv.PreActivation(ins[0])
+		s := pre.Shape()
+		plane := s.H * s.W
+		d := pre.Data()
+		vals := make([]float32, 0, s.N*plane)
+		neg := 0
+		for k := 0; k < s.C; k++ {
+			vals = vals[:0]
+			for n := 0; n < s.N; n++ {
+				base := (n*s.C + k) * plane
+				vals = append(vals, d[base:base+plane]...)
+			}
+			q := quantile(vals, target)
+			conv.Bias[k] -= q
+			// Shift the already-computed pre-activations instead of
+			// recomputing the convolution.
+			for n := 0; n < s.N; n++ {
+				base := (n*s.C + k) * plane
+				for i := base; i < base+plane; i++ {
+					d[i] -= q
+					if d[i] < 0 {
+						d[i] = 0 // fused ReLU
+						neg++
+					}
+				}
+			}
+		}
+		frac := float64(neg) / float64(len(d))
+		rep.PerLayer[node.Name] = frac
+		totalNeg += float64(neg)
+		totalElems += float64(len(d))
+		return pre, true
+	})
+	if totalElems > 0 {
+		rep.Overall = totalNeg / totalElems
+	}
+	return rep
+}
+
+// MeasureNegFrac runs the model on the images and reports, per conv
+// layer and overall, the fraction of convolution outputs zeroed by the
+// fused ReLU — the quantity Figure 1 plots. (ReLU zeroes exactly the
+// negative pre-activations; exact zeros have measure zero.)
+func MeasureNegFrac(m *models.Model, images []*tensor.Tensor) (map[string]float64, float64) {
+	per := make(map[string]float64)
+	counts := make(map[string]int)
+	zeros := make(map[string]int)
+	for _, img := range images {
+		m.Graph.ForwardTap(img, func(name string, out *tensor.Tensor) {
+			if c, ok := m.Graph.Node(name).Layer.(*nn.Conv2D); !ok || !c.ReLU {
+				return
+			}
+			counts[name] += out.Shape().Elems()
+			zeros[name] += out.CountZero()
+		})
+	}
+	var totZ, totC float64
+	for name, n := range counts {
+		per[name] = float64(zeros[name]) / float64(n)
+		totZ += float64(zeros[name])
+		totC += float64(n)
+	}
+	if totC == 0 {
+		return per, 0
+	}
+	return per, totZ / totC
+}
+
+// Stack concatenates same-shaped single-image tensors into one batch.
+func Stack(images []*tensor.Tensor) *tensor.Tensor {
+	if len(images) == 0 {
+		panic("calib: empty image set")
+	}
+	s := images[0].Shape()
+	out := tensor.New(tensor.Shape{N: len(images) * s.N, C: s.C, H: s.H, W: s.W})
+	per := s.Elems()
+	for i, img := range images {
+		if !img.Shape().Eq(s) {
+			panic("calib: mismatched image shapes")
+		}
+		copy(out.Data()[i*per:], img.Data())
+	}
+	return out
+}
+
+// quantile returns the q-quantile of vals (0 < q < 1) by sorting a copy.
+func quantile(vals []float32, q float64) float32 {
+	cp := make([]float32, len(vals))
+	copy(cp, vals)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	idx := int(q * float64(len(cp)))
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}

@@ -1,0 +1,110 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"snapea/internal/models"
+	"snapea/internal/nn"
+)
+
+// TestCalibrateDeepNetwork: calibration must hold layer by layer through
+// a deep multi-branch network (GoogLeNet reduced) — each layer is
+// calibrated on the activations flowing out of the already-calibrated
+// layers before it.
+func TestCalibrateDeepNetwork(t *testing.T) {
+	m, err := models.Build("googlenet", models.Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := calibImages(t, m, 4)
+	rep := Calibrate(m, imgs)
+	if math.Abs(rep.Overall-m.PaperNegFrac) > 0.05 {
+		t.Fatalf("googlenet overall %.3f vs target %.2f", rep.Overall, m.PaperNegFrac)
+	}
+	if len(rep.PerLayer) != 57 {
+		t.Fatalf("calibrated %d layers, want 57", len(rep.PerLayer))
+	}
+	bad := 0
+	for node, f := range rep.PerLayer {
+		if math.Abs(f-m.PaperNegFrac) > 0.10 {
+			t.Logf("layer %s off target: %.3f", node, f)
+			bad++
+		}
+	}
+	if bad > 5 {
+		t.Fatalf("%d of 57 layers missed the target band", bad)
+	}
+}
+
+// TestCalibrateOnlyTouchesBiases: the calibration pass must leave
+// weights untouched — it is a bias shift, not a retraining.
+func TestCalibrateOnlyTouchesBiases(t *testing.T) {
+	m, _ := models.Build("tinynet", models.Options{Seed: 13})
+	conv := m.ConvNodes()[0].Conv
+	before := append([]float32(nil), conv.Weights.Data()...)
+	biasBefore := append([]float32(nil), conv.Bias...)
+	Calibrate(m, calibImages(t, m, 4))
+	for i, v := range conv.Weights.Data() {
+		if before[i] != v {
+			t.Fatal("calibration mutated weights")
+		}
+	}
+	changed := false
+	for i, v := range conv.Bias {
+		if biasBefore[i] != v {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("calibration changed no biases")
+	}
+}
+
+// TestCalibrateSkipsNonReLUConvs: a conv without fused ReLU must not be
+// calibrated (the negative-output trick does not apply).
+func TestCalibrateSkipsNonReLUConvs(t *testing.T) {
+	m, _ := models.Build("tinynet", models.Options{Seed: 14})
+	// Strip the ReLU from conv2.
+	conv2 := m.ConvNodes()[1].Conv
+	conv2.ReLU = false
+	rep := Calibrate(m, calibImages(t, m, 4))
+	if _, ok := rep.PerLayer["conv2"]; ok {
+		t.Fatal("non-ReLU conv was calibrated")
+	}
+	if len(rep.PerLayer) != 2 {
+		t.Fatalf("calibrated %d layers, want 2", len(rep.PerLayer))
+	}
+}
+
+// TestMeasureNegFracEmptyModel guards the zero-division path.
+func TestMeasureNegFracNoConvs(t *testing.T) {
+	g := nn.NewGraph()
+	g.Add("relu", nn.ReLU{}, nn.InputName)
+	m := &models.Model{Name: "x", Graph: g}
+	per, overall := MeasureNegFrac(m, nil)
+	if len(per) != 0 || overall != 0 {
+		t.Fatal("expected empty measurement")
+	}
+}
+
+func TestStackPanicsOnMismatch(t *testing.T) {
+	m, _ := models.Build("tinynet", models.Options{Seed: 15})
+	imgs := calibImages(t, m, 2)
+	imgs[1] = imgs[1].Batch(0).Channel(0, 0) // wrong shape
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Stack(imgs)
+}
+
+func TestStackEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Stack(nil)
+}

@@ -1,0 +1,109 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"snapea/internal/dataset"
+	"snapea/internal/models"
+	"snapea/internal/tensor"
+)
+
+func calibImages(t *testing.T, m *models.Model, n int) []*tensor.Tensor {
+	t.Helper()
+	samples := dataset.Generate(n, dataset.Config{HW: m.InputShape.H, Seed: 3})
+	imgs := make([]*tensor.Tensor, len(samples))
+	for i, s := range samples {
+		imgs[i] = s.Image
+	}
+	return imgs
+}
+
+func TestCalibrateHitsTarget(t *testing.T) {
+	m, err := models.Build("tinynet", models.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := calibImages(t, m, 6)
+	rep := CalibrateTo(m, imgs, 0.6)
+	if math.Abs(rep.Overall-0.6) > 0.05 {
+		t.Fatalf("overall negative fraction %.3f, want ≈0.6", rep.Overall)
+	}
+	for node, f := range rep.PerLayer {
+		if math.Abs(f-0.6) > 0.08 {
+			t.Errorf("layer %s fraction %.3f", node, f)
+		}
+	}
+	// Fresh images must land near the target too (generalization).
+	fresh := calibImages(t, m, 4)
+	// Different seed for fresh data.
+	samples := dataset.Generate(4, dataset.Config{HW: m.InputShape.H, Seed: 99})
+	for i, s := range samples {
+		fresh[i] = s.Image
+	}
+	_, overall := MeasureNegFrac(m, fresh)
+	if math.Abs(overall-0.6) > 0.1 {
+		t.Fatalf("held-out negative fraction %.3f", overall)
+	}
+}
+
+func TestCalibrateDistinctTargets(t *testing.T) {
+	for _, target := range []float64{0.42, 0.68} {
+		m, _ := models.Build("tinynet", models.Options{Seed: 8})
+		imgs := calibImages(t, m, 6)
+		rep := CalibrateTo(m, imgs, target)
+		if math.Abs(rep.Overall-target) > 0.05 {
+			t.Errorf("target %.2f achieved %.3f", target, rep.Overall)
+		}
+	}
+}
+
+func TestCalibrateUsesModelTarget(t *testing.T) {
+	m, _ := models.Build("tinynet", models.Options{Seed: 5})
+	imgs := calibImages(t, m, 6)
+	rep := Calibrate(m, imgs)
+	if rep.Target != m.PaperNegFrac {
+		t.Fatalf("calibrate target %g, model says %g", rep.Target, m.PaperNegFrac)
+	}
+}
+
+func TestMeasureAgreesWithCalibrationBatch(t *testing.T) {
+	m, _ := models.Build("tinynet", models.Options{Seed: 6})
+	imgs := calibImages(t, m, 6)
+	rep := CalibrateTo(m, imgs, 0.5)
+	_, measured := MeasureNegFrac(m, imgs)
+	if math.Abs(measured-rep.Overall) > 0.02 {
+		t.Fatalf("measure %.3f vs calibration %.3f", measured, rep.Overall)
+	}
+}
+
+func TestStack(t *testing.T) {
+	a := tensor.New(tensor.Shape{N: 1, C: 2, H: 2, W: 2})
+	b := tensor.New(tensor.Shape{N: 1, C: 2, H: 2, W: 2})
+	a.Fill(1)
+	b.Fill(2)
+	s := Stack([]*tensor.Tensor{a, b})
+	if s.Shape().N != 2 {
+		t.Fatalf("stacked N=%d", s.Shape().N)
+	}
+	if s.At(0, 1, 1, 1) != 1 || s.At(1, 0, 0, 0) != 2 {
+		t.Fatal("stack misplaced data")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float32{5, 1, 3, 2, 4}
+	if q := quantile(vals, 0.5); q != 3 {
+		t.Fatalf("median %g", q)
+	}
+	if q := quantile(vals, 0.0); q != 1 {
+		t.Fatalf("q0 %g", q)
+	}
+	if q := quantile(vals, 0.999); q != 5 {
+		t.Fatalf("q1 %g", q)
+	}
+	// Input must be untouched.
+	if vals[0] != 5 {
+		t.Fatal("quantile mutated input")
+	}
+}

@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(10, Config{Seed: 5})
+	b := Generate(10, Config{Seed: 5})
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatal("labels diverged")
+		}
+		da, db := a[i].Image.Data(), b[i].Image.Data()
+		for j := range da {
+			if da[j] != db[j] {
+				t.Fatal("pixels diverged for same seed")
+			}
+		}
+	}
+}
+
+func TestGenerateLabelBalance(t *testing.T) {
+	samples := Generate(40, Config{Classes: 4})
+	counts := make([]int, 4)
+	for _, s := range samples {
+		counts[s.Label]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples", c, n)
+		}
+	}
+}
+
+func TestGenerateShapesAndRange(t *testing.T) {
+	samples := Generate(4, Config{HW: 16})
+	for _, s := range samples {
+		sh := s.Image.Shape()
+		if sh.N != 1 || sh.C != 3 || sh.H != 16 || sh.W != 16 {
+			t.Fatalf("image shape %v", sh)
+		}
+		if s.Image.Min() < 0 {
+			t.Fatalf("negative pixel %g — convolutional inputs must be non-negative for SnaPEA's exact mode", s.Image.Min())
+		}
+		if s.Image.Max() > 1 {
+			t.Fatalf("pixel above 1: %g", s.Image.Max())
+		}
+	}
+}
+
+func TestClassesAreDistinguishable(t *testing.T) {
+	// Mean images of different classes must differ far more than two
+	// draws of the same class.
+	cfg := Config{Classes: 4, HW: 16, Seed: 2}
+	samples := Generate(80, cfg)
+	mean := make([][]float64, 4)
+	count := make([]int, 4)
+	px := 3 * 16 * 16
+	for i := range mean {
+		mean[i] = make([]float64, px)
+	}
+	for _, s := range samples {
+		for j, v := range s.Image.Data() {
+			mean[s.Label][j] += float64(v)
+		}
+		count[s.Label]++
+	}
+	for c := range mean {
+		for j := range mean[c] {
+			mean[c][j] /= float64(count[c])
+		}
+	}
+	var between float64
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			var d float64
+			for j := range mean[a] {
+				diff := mean[a][j] - mean[b][j]
+				d += diff * diff
+			}
+			between += d
+		}
+	}
+	if between < 1 {
+		t.Fatalf("class means nearly identical (%.3f): dataset is not separable", between)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	samples := Generate(10, Config{})
+	opt, test := Split(samples, 0.3)
+	if len(opt) != 3 || len(test) != 7 {
+		t.Fatalf("split %d/%d", len(opt), len(test))
+	}
+	// Degenerate fractions stay usable.
+	opt, test = Split(samples, 0)
+	if len(opt) < 1 || len(test) < 1 {
+		t.Fatalf("zero-frac split %d/%d", len(opt), len(test))
+	}
+	opt, test = Split(samples, 1)
+	if len(opt) < 1 || len(test) < 1 {
+		t.Fatalf("one-frac split %d/%d", len(opt), len(test))
+	}
+}
+
+func TestAllPatternFamiliesRendered(t *testing.T) {
+	// With ≥8 classes all four pattern families (gratings, checkers,
+	// blobs, gradients) appear, and every image is non-constant.
+	samples := Generate(8, Config{Classes: 8, HW: 16, Seed: 6})
+	for _, s := range samples {
+		if s.Image.Std() < 0.01 {
+			t.Fatalf("class %d image nearly constant (std %.4f)", s.Label, s.Image.Std())
+		}
+	}
+}
+
+func TestSameClassDiffersAcrossDraws(t *testing.T) {
+	// Per-image randomness (phase, position, noise) must make two draws
+	// of the same class differ.
+	samples := Generate(20, Config{Classes: 10, HW: 16, Seed: 7})
+	a, b := samples[0], samples[10] // same class (round-robin)
+	if a.Label != b.Label {
+		t.Fatal("test setup: labels differ")
+	}
+	if a.Image.AbsDiffMax(b.Image) < 0.05 {
+		t.Fatal("two draws of one class are nearly identical")
+	}
+}
+
+func TestNoiseConfigurable(t *testing.T) {
+	clean := Generate(4, Config{HW: 16, Seed: 8, Noise: 0.01})
+	noisy := Generate(4, Config{HW: 16, Seed: 8, Noise: 0.4})
+	// Same seed, different noise: higher noise ⇒ larger deviation
+	// between corresponding pixels... measured via per-image std of the
+	// difference from the low-noise render.
+	var dev float64
+	for i := range clean {
+		dev += clean[i].Image.AbsDiffMax(noisy[i].Image)
+	}
+	if dev < 0.1 {
+		t.Fatalf("noise knob inert (deviation %.3f)", dev)
+	}
+}

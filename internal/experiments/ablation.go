@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"sort"
+
+	"snapea/internal/nn"
+	"snapea/internal/report"
+	"snapea/internal/sim"
+	"snapea/internal/snapea"
+	"snapea/internal/tensor"
+)
+
+// AblationPrefixResult compares the paper's group-representative
+// speculation-prefix selection against the naive largest-magnitude
+// selection Section IV-A argues against, at matched speculation rates.
+type AblationPrefixResult struct {
+	Network string
+	// FN rates of the two policies at the same predicted-zero rate
+	// (lower is better; the paper claims naive selection "drastically
+	// declines" accuracy, i.e. much higher FN).
+	GroupFNR float64
+	NaiveFNR float64
+	// PredRate is the matched fraction of windows speculated to zero.
+	PredRate float64
+}
+
+// AblationPrefix measures false-negative rates of both prefix policies
+// on the first configured network's middle layer, matching the
+// speculation rate by using each policy's own median-partial-sum
+// threshold.
+func (s *Suite) AblationPrefix() AblationPrefixResult {
+	name := s.Cfg.Networks[0]
+	p := s.Prepared(name)
+	convs := p.Model.ConvNodes()
+	cn := convs[len(convs)/2]
+
+	// Collect this layer's input on the test images.
+	var inputs []*tensor.Tensor
+	node := p.Model.Graph.Node(cn.Name)
+	for _, img := range p.TestImgs[:4] {
+		vals := map[string]*tensor.Tensor{nn.InputName: img}
+		p.Model.Graph.ForwardTap(img, func(n string, t *tensor.Tensor) { vals[n] = t })
+		inputs = append(inputs, vals[node.Inputs[0]])
+	}
+
+	res := AblationPrefixResult{Network: name}
+	const specN = 8
+	var groupFN, naiveFN, groupPos, naivePos, preds, windows float64
+	for k := 0; k < cn.Conv.OutC; k++ {
+		w := cn.Conv.Kernel(k)
+		if len(w) <= specN {
+			continue
+		}
+		bias := cn.Conv.Bias[k]
+		group := snapea.Reorder(w, snapea.KernelParam{N: specN}, snapea.NegByMagnitude)
+		naive := snapea.ReorderNaivePrefix(w, snapea.KernelParam{N: specN}, snapea.NegByMagnitude)
+
+		// Gather sampled windows and each policy's prefix sums.
+		type sums struct{ g, n, full float64 }
+		var all []sums
+		for _, in := range inputs {
+			forEachWindow(cn.Conv, in, 16, func(x []float32) {
+				var sm sums
+				sm.full = float64(bias)
+				for i, xv := range x {
+					sm.full += float64(w[i]) * float64(xv)
+				}
+				sm.g = float64(bias)
+				for i := 0; i < group.NumSpec; i++ {
+					sm.g += float64(group.Weights[i]) * float64(x[group.Index[i]])
+				}
+				sm.n = float64(bias)
+				for i := 0; i < naive.NumSpec; i++ {
+					sm.n += float64(naive.Weights[i]) * float64(x[naive.Index[i]])
+				}
+				all = append(all, sm)
+			})
+		}
+		if len(all) < 4 {
+			continue
+		}
+		// Matched speculation rate: both policies use their own median
+		// prefix sum as the threshold, predicting ~half the windows.
+		gs := make([]float64, len(all))
+		ns := make([]float64, len(all))
+		for i, sm := range all {
+			gs[i], ns[i] = sm.g, sm.n
+		}
+		sort.Float64s(gs)
+		sort.Float64s(ns)
+		thG, thN := gs[len(gs)/2], ns[len(ns)/2]
+		for _, sm := range all {
+			windows++
+			if sm.g <= thG {
+				preds++
+			}
+			if sm.full >= 0 {
+				if sm.g <= thG {
+					groupFN++
+				}
+				if sm.n <= thN {
+					naiveFN++
+				}
+				groupPos++
+				naivePos++
+			}
+		}
+	}
+	if groupPos > 0 {
+		res.GroupFNR = groupFN / groupPos
+		res.NaiveFNR = naiveFN / naivePos
+	}
+	if windows > 0 {
+		res.PredRate = preds / windows
+	}
+	if s.Cfg.Out != nil {
+		t := report.Table{
+			Title:   "Ablation: speculation-prefix selection (" + name + ", " + cn.Name + ", N=8, matched ~50% speculation rate)",
+			Headers: []string{"Policy", "False Negative Rate"},
+		}
+		t.Add("group representatives (paper)", report.Pct(res.GroupFNR))
+		t.Add("largest magnitudes (naive)", report.Pct(res.NaiveFNR))
+		t.Render(s.Cfg.Out)
+	}
+	return res
+}
+
+// forEachWindow iterates up to `stride`-strided interior windows of the
+// first output channel grid, passing the gathered inputs in original
+// kernel order.
+func forEachWindow(conv *nn.Conv2D, in *tensor.Tensor, every int, fn func(x []float32)) {
+	s := in.Shape()
+	oh := (s.H+2*conv.PadH-conv.KH)/conv.StrideH + 1
+	ow := (s.W+2*conv.PadW-conv.KW)/conv.StrideW + 1
+	x := make([]float32, conv.KernelSize())
+	ind := in.Data()
+	cnt := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			cnt++
+			if cnt%every != 0 {
+				continue
+			}
+			iy0 := oy*conv.StrideH - conv.PadH
+			ix0 := ox*conv.StrideW - conv.PadW
+			i := 0
+			inCg := conv.InC / conv.Groups
+			for ci := 0; ci < inCg; ci++ {
+				base := ci * s.H * s.W
+				for ky := 0; ky < conv.KH; ky++ {
+					for kx := 0; kx < conv.KW; kx++ {
+						iy, ix := iy0+ky, ix0+kx
+						if iy < 0 || iy >= s.H || ix < 0 || ix >= s.W {
+							x[i] = 0
+						} else {
+							x[i] = ind[base+iy*s.W+ix]
+						}
+						i++
+					}
+				}
+			}
+			fn(x)
+		}
+	}
+}
+
+// AblationNegOrderResult compares the two negative-suffix orders.
+type AblationNegOrderResult struct {
+	Network       string
+	MagnitudeOps  int64
+	OriginalOps   int64
+	ExtraOriginal float64 // OriginalOps/MagnitudeOps − 1
+}
+
+// AblationNegOrder measures how much the magnitude-descending negative
+// suffix (this implementation's default) buys over keeping the original
+// order, in exact mode.
+func (s *Suite) AblationNegOrder() AblationNegOrderResult {
+	name := s.Cfg.Networks[0]
+	p := s.Prepared(name)
+	res := AblationNegOrderResult{Network: name}
+	for _, order := range []snapea.NegOrder{snapea.NegByMagnitude, snapea.NegOriginal} {
+		net := snapea.Compile(p.Model, nil, order)
+		trace := snapea.NewNetTrace()
+		for _, img := range p.TestImgs[:4] {
+			net.Forward(img, snapea.RunOpts{}, trace)
+		}
+		total, _ := trace.Totals()
+		if order == snapea.NegByMagnitude {
+			res.MagnitudeOps = total
+		} else {
+			res.OriginalOps = total
+		}
+	}
+	res.ExtraOriginal = float64(res.OriginalOps)/float64(res.MagnitudeOps) - 1
+	if s.Cfg.Out != nil {
+		t := report.Table{
+			Title:   "Ablation: negative-suffix order, exact mode (" + name + ")",
+			Headers: []string{"Order", "Total MACs"},
+		}
+		t.Add("by magnitude (default)", report.F(float64(res.MagnitudeOps), 0))
+		t.Add("original", report.F(float64(res.OriginalOps), 0))
+		t.Render(s.Cfg.Out)
+	}
+	return res
+}
+
+// AblationLaneSyncResult compares the default portion-synchronized
+// array against an idealized machine with effectively no barriers.
+type AblationLaneSyncResult struct {
+	Network    string
+	SyncCycles int64
+	IdealOps   int64 // MACs/peak lower bound
+	SyncTax    float64
+}
+
+// AblationLaneSync quantifies the synchronization cost the SnaPEA
+// organization pays (Section V): simulated cycles vs the MAC-count
+// lower bound at peak throughput.
+func (s *Suite) AblationLaneSync() AblationLaneSyncResult {
+	name := s.Cfg.Networks[0]
+	r := s.Exact(name)
+	res := AblationLaneSyncResult{Network: name}
+	res.SyncCycles = r.Snap.Cycles
+	cfg := sim.SnaPEAConfig()
+	res.IdealOps = (r.Snap.MACs + int64(cfg.MACs()) - 1) / int64(cfg.MACs())
+	res.SyncTax = float64(res.SyncCycles)/float64(res.IdealOps) - 1
+	if s.Cfg.Out != nil {
+		t := report.Table{
+			Title:   "Ablation: lane/PE synchronization tax, exact mode (" + name + ")",
+			Headers: []string{"Metric", "Cycles"},
+		}
+		t.Add("simulated (portion barriers)", report.F(float64(res.SyncCycles), 0))
+		t.Add("ideal (MACs / 256)", report.F(float64(res.IdealOps), 0))
+		t.Add("tax", report.Pct(res.SyncTax))
+		t.Render(s.Cfg.Out)
+	}
+	return res
+}

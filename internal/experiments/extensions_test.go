@@ -1,0 +1,103 @@
+package experiments
+
+import "testing"
+
+func TestAblationQuantization(t *testing.T) {
+	s := testSuite(t)
+	res := s.AblationQuantization()
+	if res.OutputDisagreement > 0.05 {
+		t.Fatalf("Q7.8 zero decisions disagree on %.1f%% of windows", 100*res.OutputDisagreement)
+	}
+	if res.OpsDeltaPct > 0.10 {
+		t.Fatalf("Q7.8 op count off by %.1f%%", 100*res.OpsDeltaPct)
+	}
+}
+
+func TestAblationFC(t *testing.T) {
+	s := testSuite(t)
+	res := s.AblationFC()
+	if res.WithFCRed < res.ConvOnlyRed-1e-9 {
+		t.Fatalf("FC termination reduced savings: %.3f < %.3f", res.WithFCRed, res.ConvOnlyRed)
+	}
+	// TinyNet's head has no ReLU, so the FC gain may be zero — the
+	// invariant is monotonicity, checked above; LeNet's ip1 has a ReLU
+	// and must show a positive in-FC reduction when it is the target.
+	lenetSuite := New(Config{
+		Networks:    []string{"lenet"},
+		Classes:     4,
+		TrainImages: 8,
+		CalibImages: 4,
+		OptImages:   4,
+		TestImages:  6,
+		Seed:        9,
+	})
+	lr := lenetSuite.AblationFC()
+	if lr.FCLayerRed <= 0 {
+		t.Fatalf("lenet ReLU FC shows no early-termination savings: %.3f", lr.FCLayerRed)
+	}
+}
+
+func TestPruningExperiment(t *testing.T) {
+	s := testSuite(t)
+	rows := s.PruningExperiment()
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[0].Sparsity != 0 {
+		t.Fatalf("first point sparsity %.2f", rows[0].Sparsity)
+	}
+	for _, r := range rows[1:] {
+		if r.Sparsity < 0.2 {
+			t.Errorf("pruned point sparsity %.2f too low", r.Sparsity)
+		}
+	}
+	for _, r := range rows {
+		if r.MACRed <= 0.05 {
+			t.Errorf("sparsity %.2f: dynamic MAC reduction %.3f collapsed", r.Sparsity, r.MACRed)
+		}
+		if r.NegFrac < 0.3 || r.NegFrac > 0.8 {
+			t.Errorf("sparsity %.2f: calibration lost (%.3f)", r.Sparsity, r.NegFrac)
+		}
+		// Composition: zero weights are elided from the reordered
+		// stream, so total reduction must be at least the sparsity.
+		if r.MACRed < r.Sparsity-0.02 {
+			t.Errorf("sparsity %.2f: reduction %.3f below static share — composition lost", r.Sparsity, r.MACRed)
+		}
+	}
+	if rows[2].MACRed <= rows[0].MACRed {
+		t.Error("pruning plus SnaPEA did not stack")
+	}
+}
+
+func TestSparsityComparison(t *testing.T) {
+	s := testSuite(t)
+	rows := s.SparsityComparison()
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.InputZeroFrac <= 0 || r.InputZeroFrac >= 1 {
+			t.Errorf("%s: zero-input fraction %.3f implausible", r.Network, r.InputZeroFrac)
+		}
+		if r.CombinedRed < r.SnaPEARed || r.CombinedRed < r.InputZeroFrac {
+			t.Errorf("%s: combined %.3f below a component (%.3f / %.3f)",
+				r.Network, r.CombinedRed, r.SnaPEARed, r.InputZeroFrac)
+		}
+		if r.CombinedRed >= 1 {
+			t.Errorf("%s: combined %.3f not a valid fraction", r.Network, r.CombinedRed)
+		}
+	}
+}
+
+func TestStopProfile(t *testing.T) {
+	s := testSuite(t)
+	stats := s.StopProfile("tinynet")
+	if len(stats) != 3 {
+		t.Fatalf("tinynet has 3 conv layers, got %d stats", len(stats))
+	}
+	for _, st := range stats {
+		if st.MeanFrac <= 0 || st.MeanFrac > 1 {
+			t.Errorf("%s mean frac %.3f", st.Node, st.MeanFrac)
+		}
+	}
+}

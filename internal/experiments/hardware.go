@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"snapea/internal/report"
+	"snapea/internal/sim"
+)
+
+// Table2 reproduces Table II: the design parameters and area breakdown
+// of SnaPEA and EYERISS (published TSMC-45nm figures; see DESIGN.md).
+func (s *Suite) Table2() []sim.AreaEntry {
+	rows := sim.AreaTable()
+	if s.Cfg.Out != nil {
+		t := report.Table{
+			Title:   "Table II: design parameters and area breakdown (TSMC 45 nm)",
+			Headers: []string{"Component", "SnaPEA Size", "SnaPEA mm²", "EYERISS Size", "EYERISS mm²"},
+		}
+		for _, r := range rows {
+			t.Add(r.Component, r.SnaPEASize, report.F(r.SnaPEAmm2, 3), r.EyerissSize, report.F(r.Eyerissmm2, 3))
+		}
+		sa, ea := sim.TotalArea()
+		t.Add("Total", "", report.F(sa, 1), "", report.F(ea, 1))
+		t.Render(s.Cfg.Out)
+	}
+	return rows
+}
+
+// Table3 reproduces Table III: per-component energy costs.
+func (s *Suite) Table3() []sim.EnergyRow {
+	rows := sim.EnergyTable()
+	if s.Cfg.Out != nil {
+		t := report.Table{
+			Title:   "Table III: energy per component",
+			Headers: []string{"Operation", "Energy (pJ/bit)", "Relative Cost"},
+		}
+		for _, r := range rows {
+			t.Add(r.Operation, report.F(r.PJPerBit, 2), report.F(r.Relative, 1))
+		}
+		t.Render(s.Cfg.Out)
+	}
+	return rows
+}

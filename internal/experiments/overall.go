@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"snapea/internal/report"
+)
+
+// NetPerf is one network's speedup and energy reduction over EYERISS.
+type NetPerf struct {
+	Network   string
+	Speedup   float64
+	EnergyRed float64
+	// MACRed is the fraction of convolution MACs eliminated.
+	MACRed float64
+	// AccLoss is the measured test-accuracy loss (0 in exact mode).
+	AccLoss float64
+}
+
+// OverallResult carries per-network rows plus geometric means — the
+// format of Figures 8 and 9.
+type OverallResult struct {
+	Mode       string
+	Rows       []NetPerf
+	GeoSpeedup float64
+	GeoEnergy  float64
+}
+
+// Fig8 reproduces Figure 8: exact-mode speedup and energy reduction
+// over EYERISS (no accuracy impact by construction).
+func (s *Suite) Fig8() OverallResult {
+	res := OverallResult{Mode: "exact"}
+	for _, name := range s.Cfg.Networks {
+		r := s.Exact(name)
+		res.Rows = append(res.Rows, NetPerf{
+			Network:   name,
+			Speedup:   r.Snap.Speedup(r.Base),
+			EnergyRed: r.Snap.EnergyReduction(r.Base),
+			MACRed:    r.Trace.Reduction(),
+		})
+	}
+	res.finish()
+	s.render("Figure 8: exact mode vs EYERISS (paper: 1.30x / 1.16x average)", res)
+	return res
+}
+
+// Fig9 reproduces Figure 9: predictive-mode speedup and energy
+// reduction at the configured ε (paper: ≤3% accuracy loss).
+func (s *Suite) Fig9() OverallResult {
+	res := OverallResult{Mode: "predictive"}
+	for _, name := range s.Cfg.Networks {
+		r := s.Predictive(name, s.Cfg.Epsilon)
+		res.Rows = append(res.Rows, NetPerf{
+			Network:   name,
+			Speedup:   r.Snap.Speedup(r.Base),
+			EnergyRed: r.Snap.EnergyReduction(r.Base),
+			MACRed:    r.Trace.Reduction(),
+			AccLoss:   r.AccLoss,
+		})
+	}
+	res.finish()
+	s.render("Figure 9: predictive mode vs EYERISS at ε=3% (paper: 1.9x / 1.63x average)", res)
+	return res
+}
+
+func (r *OverallResult) finish() {
+	var sp, en []float64
+	for _, row := range r.Rows {
+		sp = append(sp, row.Speedup)
+		en = append(en, row.EnergyRed)
+	}
+	r.GeoSpeedup = report.Geomean(sp)
+	r.GeoEnergy = report.Geomean(en)
+}
+
+func (s *Suite) render(title string, res OverallResult) {
+	if s.Cfg.Out == nil {
+		return
+	}
+	t := report.Table{
+		Title:   title,
+		Headers: []string{"Network", "Speedup", "Energy Red.", "MAC Red.", "Acc. Loss"},
+	}
+	for _, r := range res.Rows {
+		t.Add(r.Network, report.X(r.Speedup), report.X(r.EnergyRed), report.Pct(r.MACRed), report.Pct(r.AccLoss))
+	}
+	t.Add("geomean", report.X(res.GeoSpeedup), report.X(res.GeoEnergy), "", "")
+	t.Render(s.Cfg.Out)
+}

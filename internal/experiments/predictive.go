@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"sort"
+
+	"snapea/internal/report"
+)
+
+// LayerPerf is one convolution layer's simulated performance in the
+// predictive mode.
+type LayerPerf struct {
+	Network    string
+	Layer      string
+	Speedup    float64
+	EnergyRed  float64
+	Predictive bool
+}
+
+// Fig10Result summarizes the per-layer speedup spread of one network.
+type Fig10Result struct {
+	Network  string
+	Layers   []LayerPerf
+	MaxLayer LayerPerf
+	MinLayer LayerPerf
+	Geomean  float64
+}
+
+// Fig10 reproduces Figure 10: the per-convolution-layer speedup spread
+// at ε=3% (the paper's extremes are GoogLeNet's inception_4e/1x1 at
+// 3.59× and inception_4e/5x5_reduce at 1.17×).
+func (s *Suite) Fig10() []Fig10Result {
+	var out []Fig10Result
+	for _, name := range s.Cfg.Networks {
+		r := s.Predictive(name, s.Cfg.Epsilon)
+		res := Fig10Result{Network: name}
+		var sp []float64
+		for _, lp := range s.layerPerf(r) {
+			res.Layers = append(res.Layers, lp)
+			sp = append(sp, lp.Speedup)
+		}
+		sort.Slice(res.Layers, func(i, j int) bool { return res.Layers[i].Speedup > res.Layers[j].Speedup })
+		res.MaxLayer = res.Layers[0]
+		res.MinLayer = res.Layers[len(res.Layers)-1]
+		res.Geomean = report.Geomean(sp)
+		out = append(out, res)
+	}
+	if s.Cfg.Out != nil {
+		t := report.Table{
+			Title:   "Figure 10: per-convolution-layer speedup at ε=3%",
+			Headers: []string{"Network", "Max Layer", "Max", "Min Layer", "Min", "Geomean"},
+		}
+		for _, r := range out {
+			t.Add(r.Network, r.MaxLayer.Layer, report.X(r.MaxLayer.Speedup),
+				r.MinLayer.Layer, report.X(r.MinLayer.Speedup), report.X(r.Geomean))
+		}
+		t.Render(s.Cfg.Out)
+	}
+	return out
+}
+
+// layerPerf computes per-layer speedup and energy reduction by matching
+// simulated layers between the SnaPEA and EYERISS results.
+func (s *Suite) layerPerf(r *PredRun) []LayerPerf {
+	base := make(map[string]int, len(r.Base.Layers))
+	for i, l := range r.Base.Layers {
+		base[l.Name] = i
+	}
+	var out []LayerPerf
+	for _, l := range r.Snap.Layers {
+		bi, ok := base[l.Name]
+		if !ok {
+			continue
+		}
+		// Only convolution layers appear in Figure 10 / Table IV.
+		if _, isConv := r.Opt.Params[l.Name]; !isConv {
+			continue
+		}
+		b := r.Base.Layers[bi]
+		lp := LayerPerf{
+			Network:    r.Prep.Model.Name,
+			Layer:      l.Name,
+			Predictive: r.Opt.Predictive[l.Name],
+		}
+		if l.Cycles > 0 {
+			lp.Speedup = float64(b.Cycles) / float64(l.Cycles)
+		}
+		if e := l.Energy.Total(); e > 0 {
+			lp.EnergyRed = b.Energy.Total() / e
+		}
+		out = append(out, lp)
+	}
+	return out
+}
+
+// Table4Row is one row of Table IV.
+type Table4Row struct {
+	Network          string
+	PctPredictive    float64
+	AvgSpeedup       float64 // geomean across predictive layers
+	AvgEnergyRed     float64
+	PredictiveLayers int
+	TotalLayers      int
+}
+
+// Table4 reproduces Table IV: the share of convolution layers operating
+// in the predictive mode at ε=3% and their average speedup and energy
+// reduction (paper: 67.8% / 2.02× / 1.89× on average).
+func (s *Suite) Table4() []Table4Row {
+	var rows []Table4Row
+	for _, name := range s.Cfg.Networks {
+		r := s.Predictive(name, s.Cfg.Epsilon)
+		row := Table4Row{Network: name, TotalLayers: len(r.Opt.Params)}
+		var sp, en []float64
+		for _, lp := range s.layerPerf(r) {
+			if !lp.Predictive {
+				continue
+			}
+			row.PredictiveLayers++
+			sp = append(sp, lp.Speedup)
+			en = append(en, lp.EnergyRed)
+		}
+		row.PctPredictive = float64(row.PredictiveLayers) / float64(row.TotalLayers)
+		row.AvgSpeedup = report.Geomean(sp)
+		row.AvgEnergyRed = report.Geomean(en)
+		rows = append(rows, row)
+	}
+	if s.Cfg.Out != nil {
+		t := report.Table{
+			Title:   "Table IV: convolution layers in predictive mode at ε=3% (paper avg: 67.8%, 2.02x, 1.89x)",
+			Headers: []string{"Network", "% Conv Layers", "Avg Speedup", "Avg Energy Red."},
+		}
+		for _, r := range rows {
+			t.Add(r.Network, report.Pct(r.PctPredictive), report.X(r.AvgSpeedup), report.X(r.AvgEnergyRed))
+		}
+		t.Render(s.Cfg.Out)
+	}
+	return rows
+}
+
+// Table5Row is one row of Table V.
+type Table5Row struct {
+	Network string
+	TNR     float64
+	FNR     float64
+}
+
+// Table5 reproduces Table V: true- and false-negative rates of the
+// prediction mechanism at ε=3% (paper avg: 56.26% / 20.41%).
+func (s *Suite) Table5() []Table5Row {
+	var rows []Table5Row
+	for _, name := range s.Cfg.Networks {
+		r := s.Predictive(name, s.Cfg.Epsilon)
+		tnr, fnr := r.Trace.Rates()
+		rows = append(rows, Table5Row{Network: name, TNR: tnr, FNR: fnr})
+	}
+	if s.Cfg.Out != nil {
+		t := report.Table{
+			Title:   "Table V: prediction rates at ε=3% (paper avg: TNR 56.3%, FNR 20.4%)",
+			Headers: []string{"Network", "True Negative Rate", "False Negative Rate"},
+		}
+		for _, r := range rows {
+			t.Add(r.Network, report.Pct(r.TNR), report.Pct(r.FNR))
+		}
+		t.Render(s.Cfg.Out)
+	}
+	return rows
+}

@@ -1,0 +1,270 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI). Each experiment is a method on Suite; the
+// expensive pipeline stages (model build, calibration, head training,
+// Algorithm 1, tracing, cycle simulation) are computed once per
+// (network, ε) and cached, so the full set of experiments shares work
+// exactly the way the paper's evaluation reuses one trained
+// configuration across its figures.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"snapea/internal/calib"
+	"snapea/internal/dataset"
+	"snapea/internal/models"
+	"snapea/internal/sim"
+	"snapea/internal/snapea"
+	"snapea/internal/tensor"
+	"snapea/internal/train"
+)
+
+// Config sizes the experiment suite. The defaults run the whole suite on
+// a laptop in minutes; raise the image counts (and Scale) to tighten the
+// statistics.
+type Config struct {
+	Scale models.Scale
+	Seed  uint64
+	// Networks to evaluate; empty means the paper's four.
+	Networks []string
+	// Classes in the synthetic task; 0 means 10.
+	Classes int
+	// TrainImages / CalibImages / OptImages / TestImages size the
+	// dataset splits; zeros mean 40 / 6 / 10 / 24.
+	TrainImages int
+	CalibImages int
+	OptImages   int
+	TestImages  int
+	// Epsilon is the predictive-mode accuracy budget; 0 means 3%.
+	Epsilon float64
+	// Verbose streams optimizer progress to Out.
+	Verbose bool
+	// Out receives rendered tables; nil discards experiment logging
+	// (results are still returned).
+	Out io.Writer
+}
+
+func (c Config) normalize() Config {
+	if len(c.Networks) == 0 {
+		c.Networks = models.Evaluated()
+	}
+	if c.Classes == 0 {
+		c.Classes = 10
+	}
+	if c.TrainImages == 0 {
+		c.TrainImages = 40
+	}
+	if c.CalibImages == 0 {
+		c.CalibImages = 6
+	}
+	if c.OptImages == 0 {
+		c.OptImages = 10
+	}
+	if c.TestImages == 0 {
+		c.TestImages = 24
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.03
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Suite runs experiments with shared, cached pipeline results.
+type Suite struct {
+	Cfg Config
+
+	mu       sync.Mutex
+	prepared map[string]*Prepared
+	exact    map[string]*ExactRun
+	pred     map[string]*PredRun
+}
+
+// New creates a Suite.
+func New(cfg Config) *Suite {
+	return &Suite{
+		Cfg:      cfg.normalize(),
+		prepared: make(map[string]*Prepared),
+		exact:    make(map[string]*ExactRun),
+		pred:     make(map[string]*PredRun),
+	}
+}
+
+func (s *Suite) logf(format string, args ...any) {
+	if s.Cfg.Out != nil {
+		fmt.Fprintf(s.Cfg.Out, format+"\n", args...)
+	}
+}
+
+// Prepared is a calibrated model with a trained classifier head and its
+// dataset splits — the precondition every experiment shares.
+type Prepared struct {
+	Model     *models.Model
+	Calib     calib.Report
+	OptImgs   []*tensor.Tensor
+	OptLabels []int
+	TestImgs  []*tensor.Tensor
+	TestLbls  []int
+	// BaseTestAcc is the exact-execution test accuracy of the trained
+	// head (our Table I "classification accuracy").
+	BaseTestAcc   float64
+	BaseTestFeats [][]float32
+}
+
+// Prepared builds (or returns the cached) pipeline state for a network.
+func (s *Suite) Prepared(name string) *Prepared {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.prepared[name]; ok {
+		return p
+	}
+	cfg := s.Cfg
+	m, err := models.Build(name, models.Options{Scale: cfg.Scale, Classes: cfg.Classes, Seed: cfg.Seed})
+	if err != nil {
+		panic(err)
+	}
+	total := cfg.TrainImages + cfg.CalibImages + cfg.OptImages + cfg.TestImages
+	samples := dataset.Generate(total, dataset.Config{
+		Classes: cfg.Classes, HW: m.InputShape.H, Seed: cfg.Seed + 1,
+	})
+	trainSet := samples[:cfg.TrainImages]
+	calibSet := samples[cfg.TrainImages : cfg.TrainImages+cfg.CalibImages]
+	optSet := samples[cfg.TrainImages+cfg.CalibImages : cfg.TrainImages+cfg.CalibImages+cfg.OptImages]
+	testSet := samples[cfg.TrainImages+cfg.CalibImages+cfg.OptImages:]
+
+	s.logf("[%s] calibrating to %.0f%% negative activations on %d images",
+		name, 100*m.PaperNegFrac, len(calibSet))
+	rep := calib.Calibrate(m, images(calibSet))
+
+	s.logf("[%s] training head on %d images", name, len(trainSet))
+	trFeats := train.Features(m, images(trainSet))
+	train.TrainHead(m.Head, trFeats, labels(trainSet), train.Config{Seed: cfg.Seed, FeatureNoise: 0.05})
+
+	p := &Prepared{
+		Model:     m,
+		Calib:     rep,
+		OptImgs:   images(optSet),
+		OptLabels: labels(optSet),
+		TestImgs:  images(testSet),
+		TestLbls:  labels(testSet),
+	}
+	p.BaseTestFeats = train.Features(m, p.TestImgs)
+	p.BaseTestAcc = train.Accuracy(m.Head, p.BaseTestFeats, p.TestLbls)
+	s.logf("[%s] base test accuracy %.3f (neg frac %.3f)", name, p.BaseTestAcc, rep.Overall)
+	s.prepared[name] = p
+	return p
+}
+
+// ExactRun is the exact-mode evaluation of one network: traced test-set
+// execution plus cycle simulations of SnaPEA and the EYERISS baseline.
+type ExactRun struct {
+	Prep  *Prepared
+	Trace *snapea.NetTrace
+	Snap  *sim.Result
+	Base  *sim.Result
+}
+
+// Exact traces the exact-mode network over the test set and simulates
+// both machines.
+func (s *Suite) Exact(name string) *ExactRun {
+	p := s.Prepared(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.exact[name]; ok {
+		return r
+	}
+	s.logf("[%s] exact-mode trace over %d test images", name, len(p.TestImgs))
+	net := snapea.CompileExact(p.Model)
+	trace := snapea.NewNetTrace()
+	for _, img := range p.TestImgs {
+		net.Forward(img, snapea.RunOpts{CollectWindows: true}, trace)
+	}
+	r := &ExactRun{Prep: p, Trace: trace}
+	spill := sim.Spills(p.Model)
+	r.Snap = sim.Simulate(sim.SnaPEAConfig(), sim.LoadsFromTrace(p.Model, trace, spill))
+	r.Base = sim.Simulate(sim.EyerissConfig(), sim.LoadsDense(p.Model, len(p.TestImgs), spill))
+	s.exact[name] = r
+	return r
+}
+
+// PredRun is the predictive-mode evaluation of one network at one ε:
+// Algorithm 1's parameters, the traced test-set execution with
+// prediction accounting, accuracy loss, and both cycle simulations.
+type PredRun struct {
+	Prep    *Prepared
+	Epsilon float64
+	Opt     *snapea.Result
+	Net     *snapea.Network
+	Trace   *snapea.NetTrace
+	Snap    *sim.Result
+	Base    *sim.Result
+	// TestAcc is the test accuracy under predictive execution; AccLoss
+	// is BaseTestAcc − TestAcc.
+	TestAcc float64
+	AccLoss float64
+}
+
+// Predictive runs (or returns the cached) Algorithm 1 result at ε and
+// its downstream evaluation.
+func (s *Suite) Predictive(name string, eps float64) *PredRun {
+	p := s.Prepared(name)
+	key := fmt.Sprintf("%s@%.4f", name, eps)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.pred[key]; ok {
+		return r
+	}
+	s.logf("[%s] Algorithm 1 at ε=%.1f%% on %d optimization images", name, 100*eps, len(p.OptImgs))
+	net := snapea.CompileExact(p.Model)
+	opt := snapea.NewOptimizer(net, p.Model.Head, p.OptImgs, p.OptLabels, snapea.OptConfig{
+		Epsilon:     eps,
+		NCandidates: []int{2, 4, 8},
+		ThQuantiles: []float64{0.4, 0.6, 0.75},
+		MaxWindows:  128,
+		T:           3,
+		SoftLoss:    true,
+	})
+	if s.Cfg.Verbose && s.Cfg.Out != nil {
+		opt.SetLog(func(f string, a ...any) { fmt.Fprintf(s.Cfg.Out, "  "+f+"\n", a...) })
+	}
+	res := opt.Run()
+
+	trace := snapea.NewNetTrace()
+	feats := make([][]float32, len(p.TestImgs))
+	for i, img := range p.TestImgs {
+		feats[i] = net.Feature(img, snapea.RunOpts{CollectWindows: true, CollectPrediction: true}, trace)
+	}
+	acc := train.Accuracy(p.Model.Head, feats, p.TestLbls)
+	spill := sim.Spills(p.Model)
+	r := &PredRun{
+		Prep: p, Epsilon: eps, Opt: res, Net: net, Trace: trace,
+		Snap:    sim.Simulate(sim.SnaPEAConfig(), sim.LoadsFromTrace(p.Model, trace, spill)),
+		Base:    sim.Simulate(sim.EyerissConfig(), sim.LoadsDense(p.Model, len(p.TestImgs), spill)),
+		TestAcc: acc,
+		AccLoss: p.BaseTestAcc - acc,
+	}
+	s.logf("[%s] ε=%.1f%%: %d/%d layers predictive, test loss %.3f, speedup %.2fx",
+		name, 100*eps, len(res.Predictive), len(res.Params), r.AccLoss, r.Snap.Speedup(r.Base))
+	s.pred[key] = r
+	return r
+}
+
+func images(samples []dataset.Sample) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(samples))
+	for i := range samples {
+		out[i] = samples[i].Image
+	}
+	return out
+}
+
+func labels(samples []dataset.Sample) []int {
+	out := make([]int, len(samples))
+	for i := range samples {
+		out[i] = samples[i].Label
+	}
+	return out
+}

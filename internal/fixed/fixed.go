@@ -1,0 +1,85 @@
+// Package fixed implements the 16-bit fixed-point arithmetic the SnaPEA
+// PEs compute in (Table II/III: "16-bit Fixed Point PE"). The format is
+// Q7.8 — one sign bit, seven integer bits, eight fraction bits — which
+// covers the dynamic range of calibrated activations in the evaluated
+// networks. The engine's float32 path is the reference; the quantization
+// ablation bench measures how little the early-termination decisions
+// change under Q7.8.
+package fixed
+
+import "math"
+
+// FracBits is the number of fractional bits in the Q7.8 format.
+const FracBits = 8
+
+// One is the fixed-point representation of 1.0.
+const One = 1 << FracBits
+
+// Fixed is a Q7.8 fixed-point value.
+type Fixed int16
+
+// FromFloat converts with round-to-nearest and saturation.
+func FromFloat(f float64) Fixed {
+	v := math.Round(f * One)
+	if v > math.MaxInt16 {
+		return math.MaxInt16
+	}
+	if v < math.MinInt16 {
+		return math.MinInt16
+	}
+	return Fixed(v)
+}
+
+// Float converts back to float64.
+func (x Fixed) Float() float64 { return float64(x) / One }
+
+// Neg reports whether the value is negative — the single-bit check the
+// PAU performs on the accumulator's sign bit.
+func (x Fixed) Neg() bool { return x < 0 }
+
+// Acc is a widened accumulator (Q15.16-ish in 32 bits, as a real MAC
+// datapath would carry) so products do not overflow mid-window.
+type Acc int32
+
+// AccFrom starts an accumulator at a fixed-point value (e.g. the bias).
+func AccFrom(x Fixed) Acc { return Acc(int32(x) << FracBits) }
+
+// MAC accumulates w×x into the accumulator.
+func (a Acc) MAC(w, x Fixed) Acc { return a + Acc(int32(w)*int32(x)) }
+
+// Neg reports the accumulator's sign bit.
+func (a Acc) Neg() bool { return a < 0 }
+
+// LessEq compares the accumulator against a fixed-point threshold — the
+// PAU's predictive comparison.
+func (a Acc) LessEq(th Fixed) bool { return a <= Acc(int32(th))<<FracBits }
+
+// Fixed narrows the accumulator back to Q7.8 with saturation.
+func (a Acc) Fixed() Fixed {
+	v := int32(a) >> FracBits
+	if v > math.MaxInt16 {
+		return math.MaxInt16
+	}
+	if v < math.MinInt16 {
+		return math.MinInt16
+	}
+	return Fixed(v)
+}
+
+// Quantize converts a float32 slice to fixed point.
+func Quantize(fs []float32) []Fixed {
+	out := make([]Fixed, len(fs))
+	for i, f := range fs {
+		out[i] = FromFloat(float64(f))
+	}
+	return out
+}
+
+// Dequantize converts a fixed-point slice back to float32.
+func Dequantize(xs []Fixed) []float32 {
+	out := make([]float32, len(xs))
+	for i, x := range xs {
+		out[i] = float32(x.Float())
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"snapea/internal/tensor"
+)
+
+func TestRoundTripPrecision(t *testing.T) {
+	f := func(raw int16) bool {
+		v := float64(raw) / 1000 // ±32.7, inside Q7.8 range
+		x := FromFloat(v)
+		return math.Abs(x.Float()-v) <= 1.0/One/2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	if FromFloat(1000) != math.MaxInt16 {
+		t.Fatal("positive overflow must saturate")
+	}
+	if FromFloat(-1000) != math.MinInt16 {
+		t.Fatal("negative overflow must saturate")
+	}
+}
+
+func TestNegMatchesSignBit(t *testing.T) {
+	if FromFloat(-0.004).Neg() != true || FromFloat(0.004).Neg() != false {
+		t.Fatal("sign check broken")
+	}
+	if FromFloat(0).Neg() {
+		t.Fatal("zero is not negative")
+	}
+}
+
+func TestMACAgainstFloat(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	f := func(seed uint64) bool {
+		n := 16
+		acc := AccFrom(FromFloat(0.5))
+		ref := 0.5
+		for i := 0; i < n; i++ {
+			w := rng.Norm() * 0.5
+			x := rng.Float64()
+			fw, fx := FromFloat(w), FromFloat(x)
+			acc = acc.MAC(fw, fx)
+			ref += fw.Float() * fx.Float() // reference on quantized values
+		}
+		return math.Abs(acc.Fixed().Float()-ref) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccComparisons(t *testing.T) {
+	a := AccFrom(FromFloat(-0.5))
+	if !a.Neg() {
+		t.Fatal("negative accumulator not negative")
+	}
+	if !a.LessEq(FromFloat(-0.25)) {
+		t.Fatal("-0.5 <= -0.25 expected")
+	}
+	if a.LessEq(FromFloat(-0.75)) {
+		t.Fatal("-0.5 <= -0.75 unexpected")
+	}
+}
+
+func TestQuantizeDequantize(t *testing.T) {
+	in := []float32{0, 0.5, -0.5, 1.25, -3.75}
+	out := Dequantize(Quantize(in))
+	for i := range in {
+		if math.Abs(float64(out[i]-in[i])) > 1.0/One {
+			t.Fatalf("roundtrip[%d] %g -> %g", i, in[i], out[i])
+		}
+	}
+}
+
+// TestEarlyTerminationDecisionStability: the property the 16-bit PE
+// datapath must preserve is the *sign trajectory* of the partial sum;
+// quantized and float accumulations must agree on when the sum is
+// decisively negative.
+func TestEarlyTerminationDecisionStability(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	disagree := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		n := 32
+		accF := 0.1
+		accX := AccFrom(FromFloat(0.1))
+		for i := 0; i < n; i++ {
+			w := rng.Norm() * 0.3
+			x := rng.Float64()
+			accF += w * x
+			accX = accX.MAC(FromFloat(w), FromFloat(x))
+		}
+		// Only count decisive sums (beyond quantization noise).
+		if math.Abs(accF) > 0.05 && (accF < 0) != accX.Neg() {
+			disagree++
+		}
+	}
+	if disagree > trials/100 {
+		t.Fatalf("sign disagreements %d / %d", disagree, trials)
+	}
+}

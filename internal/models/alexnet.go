@@ -1,0 +1,79 @@
+package models
+
+// BuildAlexNet constructs the Caffe AlexNet topology: five ReLU-fused
+// convolutions (conv2/4/5 grouped ×2 as in the original two-GPU split),
+// two LRN layers, three max pools and three fully-connected layers.
+func BuildAlexNet(opt Options) *Model {
+	opt = opt.normalize()
+	inHW := 99
+	if opt.Scale == Full {
+		inHW = 227
+	}
+	b := newBuilder(opt, inHW)
+	b.conv("conv1", b.sc(96), 11, 4, 0, 1)
+	b.lrn("norm1")
+	b.maxPool("pool1", 3, 2, false)
+	b.conv("conv2", b.sc(256), 5, 1, 2, 2)
+	b.lrn("norm2")
+	b.maxPool("pool2", 3, 2, false)
+	b.conv("conv3", b.sc(384), 3, 1, 1, 1)
+	b.conv("conv4", b.sc(384), 3, 1, 1, 2)
+	b.conv("conv5", b.sc(256), 3, 1, 1, 2)
+	b.maxPool("pool5", 3, 2, false)
+	b.fc("fc6", b.sc(4096), true)
+	b.dropout("drop6")
+	b.fc("fc7", b.sc(4096), true)
+	b.dropout("drop7")
+	head := b.fc("fc8", opt.Classes, false)
+	return b.finish("alexnet", "fc8", "drop7", head, 0.55, 72.6)
+}
+
+// BuildVGGNet constructs VGG-16: thirteen 3×3 ReLU-fused convolutions in
+// five blocks separated by 2×2 max pools, then three fully-connected
+// layers.
+func BuildVGGNet(opt Options) *Model {
+	opt = opt.normalize()
+	inHW := 64
+	if opt.Scale == Full {
+		inHW = 224
+	}
+	b := newBuilder(opt, inHW)
+	blocks := []struct {
+		convs int
+		c     int
+	}{{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}}
+	for bi, blk := range blocks {
+		for ci := 0; ci < blk.convs; ci++ {
+			b.conv(convName(bi+1, ci+1), b.sc(blk.c), 3, 1, 1, 1)
+		}
+		b.maxPool(poolName(bi+1), 2, 2, false)
+	}
+	b.fc("fc6", b.sc(4096), true)
+	b.dropout("drop6")
+	b.fc("fc7", b.sc(4096), true)
+	b.dropout("drop7")
+	head := b.fc("fc8", opt.Classes, false)
+	return b.finish("vggnet", "fc8", "drop7", head, 0.60, 83.0)
+}
+
+func convName(block, idx int) string {
+	return "conv" + itoa(block) + "_" + itoa(idx)
+}
+
+func poolName(block int) string { return "pool" + itoa(block) }
+
+func itoa(n int) string {
+	// Tiny positive-int formatter; avoids pulling strconv into the hot
+	// path of anything (it is only used during model construction).
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,149 @@
+package models
+
+import (
+	"testing"
+
+	"snapea/internal/nn"
+	"snapea/internal/tensor"
+)
+
+// shapesOf propagates the input shape through the graph and returns
+// every node's output shape.
+func shapesOf(m *Model) map[string]tensor.Shape {
+	shapes := map[string]tensor.Shape{nn.InputName: m.InputShape}
+	for _, n := range m.Graph.Nodes() {
+		ins := make([]tensor.Shape, len(n.Inputs))
+		for i, name := range n.Inputs {
+			ins[i] = shapes[name]
+		}
+		shapes[n.Name] = n.Layer.OutShape(ins)
+	}
+	return shapes
+}
+
+// TestAlexNetGoldenGeometry checks the full-scale topology against the
+// published AlexNet layer dimensions.
+func TestAlexNetGoldenGeometry(t *testing.T) {
+	m, _ := Build("alexnet", Options{Scale: Full, Classes: 1000, SkipInit: true})
+	shapes := shapesOf(m)
+	want := map[string]tensor.Shape{
+		"conv1": {N: 1, C: 96, H: 55, W: 55},
+		"pool1": {N: 1, C: 96, H: 27, W: 27},
+		"conv2": {N: 1, C: 256, H: 27, W: 27},
+		"pool2": {N: 1, C: 256, H: 13, W: 13},
+		"conv3": {N: 1, C: 384, H: 13, W: 13},
+		"conv4": {N: 1, C: 384, H: 13, W: 13},
+		"conv5": {N: 1, C: 256, H: 13, W: 13},
+		"pool5": {N: 1, C: 256, H: 6, W: 6},
+		"fc8":   {N: 1, C: 1000, H: 1, W: 1},
+	}
+	for node, w := range want {
+		if got := shapes[node]; got != w {
+			t.Errorf("%s: %v, published %v", node, got, w)
+		}
+	}
+	// fc6 input is the canonical 9216 = 256×6×6.
+	fc6 := m.Graph.Node("fc6").Layer.(*nn.FC)
+	if fc6.In != 9216 || fc6.Out != 4096 {
+		t.Errorf("fc6 %d→%d, published 9216→4096", fc6.In, fc6.Out)
+	}
+}
+
+// TestVGGGoldenGeometry checks the VGG-16 pooling pyramid 224 → 7.
+func TestVGGGoldenGeometry(t *testing.T) {
+	m, _ := Build("vggnet", Options{Scale: Full, Classes: 1000, SkipInit: true})
+	shapes := shapesOf(m)
+	want := map[string]tensor.Shape{
+		"conv1_2": {N: 1, C: 64, H: 224, W: 224},
+		"pool1":   {N: 1, C: 64, H: 112, W: 112},
+		"pool2":   {N: 1, C: 128, H: 56, W: 56},
+		"pool3":   {N: 1, C: 256, H: 28, W: 28},
+		"pool4":   {N: 1, C: 512, H: 14, W: 14},
+		"conv5_3": {N: 1, C: 512, H: 14, W: 14},
+		"pool5":   {N: 1, C: 512, H: 7, W: 7},
+	}
+	for node, w := range want {
+		if got := shapes[node]; got != w {
+			t.Errorf("%s: %v, published %v", node, got, w)
+		}
+	}
+	fc6 := m.Graph.Node("fc6").Layer.(*nn.FC)
+	if fc6.In != 25088 {
+		t.Errorf("fc6 input %d, published 25088", fc6.In)
+	}
+}
+
+// TestGoogLeNetGoldenGeometry checks the stem pyramid and the published
+// inception output channel counts.
+func TestGoogLeNetGoldenGeometry(t *testing.T) {
+	m, _ := Build("googlenet", Options{Scale: Full, Classes: 1000, SkipInit: true})
+	shapes := shapesOf(m)
+	spatial := map[string]int{
+		"conv1/7x7_s2":        112,
+		"pool1/3x3_s2":        56,
+		"conv2/3x3":           56,
+		"pool2/3x3_s2":        28,
+		"inception_3b/output": 28,
+		"pool3/3x3_s2":        14,
+		"inception_4e/output": 14,
+		"pool4/3x3_s2":        7,
+		"inception_5b/output": 7,
+		"pool5/7x7_s1":        1,
+	}
+	for node, hw := range spatial {
+		if got := shapes[node]; got.H != hw || got.W != hw {
+			t.Errorf("%s: %v, published %dx%d", node, got, hw, hw)
+		}
+	}
+	channels := map[string]int{
+		"inception_3a/output": 256,
+		"inception_3b/output": 480,
+		"inception_4a/output": 512,
+		"inception_4e/output": 832,
+		"inception_5b/output": 1024,
+	}
+	for node, c := range channels {
+		if got := shapes[node].C; got != c {
+			t.Errorf("%s channels %d, published %d", node, got, c)
+		}
+	}
+}
+
+// TestSqueezeNetGoldenGeometry checks the fire-module pyramid and
+// concat widths.
+func TestSqueezeNetGoldenGeometry(t *testing.T) {
+	m, _ := Build("squeezenet", Options{Scale: Full, Classes: 1000, SkipInit: true})
+	shapes := shapesOf(m)
+	want := map[string]tensor.Shape{
+		"conv1":        {N: 1, C: 96, H: 109, W: 109},
+		"pool1":        {N: 1, C: 96, H: 54, W: 54},
+		"fire2/concat": {N: 1, C: 128, H: 54, W: 54},
+		"fire4/concat": {N: 1, C: 256, H: 54, W: 54},
+		"pool_fire4":   {N: 1, C: 256, H: 27, W: 27},
+		"fire8/concat": {N: 1, C: 512, H: 27, W: 27},
+		"pool_fire8":   {N: 1, C: 512, H: 13, W: 13},
+		"fire9/concat": {N: 1, C: 512, H: 13, W: 13},
+		"pool10":       {N: 1, C: 512, H: 1, W: 1},
+	}
+	for node, w := range want {
+		if got := shapes[node]; got != w {
+			t.Errorf("%s: %v, published %v", node, got, w)
+		}
+	}
+}
+
+// TestFullScaleConvMACsNearPublished: the per-image convolution MAC
+// counts of the full topologies should land near the published numbers
+// (AlexNet ≈0.67G, VGG-16 ≈15.3G, GoogLeNet ≈1.5G).
+func TestFullScaleConvMACsNearPublished(t *testing.T) {
+	check := func(name string, lo, hi float64) {
+		m, _ := Build(name, Options{Scale: Full, Classes: 1000, SkipInit: true})
+		g := float64(m.Describe().ConvMACs) / 1e9
+		if g < lo || g > hi {
+			t.Errorf("%s: %.2fG conv MACs outside [%.1f, %.1f]", name, g, lo, hi)
+		}
+	}
+	check("alexnet", 0.5, 0.9)
+	check("vggnet", 13, 17)
+	check("googlenet", 0.9, 2.0)
+}

@@ -1,0 +1,85 @@
+package models
+
+import "snapea/internal/nn"
+
+// inceptionSpec holds the six branch widths of one GoogLeNet inception
+// module: 1×1, 3×3-reduce, 3×3, 5×5-reduce, 5×5 and pool-projection.
+type inceptionSpec struct {
+	name                     string
+	c1, c3r, c3, c5r, c5, pp int
+}
+
+// googleNetModules is the published GoogLeNet inception table.
+var googleNetModules = []inceptionSpec{
+	{"inception_3a", 64, 96, 128, 16, 32, 32},
+	{"inception_3b", 128, 128, 192, 32, 96, 64},
+	{"inception_4a", 192, 96, 208, 16, 48, 64},
+	{"inception_4b", 160, 112, 224, 24, 64, 64},
+	{"inception_4c", 128, 128, 256, 24, 64, 64},
+	{"inception_4d", 112, 144, 288, 32, 64, 64},
+	{"inception_4e", 256, 160, 320, 32, 128, 128},
+	{"inception_5a", 256, 160, 320, 32, 128, 128},
+	{"inception_5b", 384, 192, 384, 48, 128, 128},
+}
+
+// BuildGoogLeNet constructs GoogLeNet: a 3-convolution stem followed by
+// nine inception modules (6 convolutions each), for the 57 convolution
+// layers Table I reports, and a single fully-connected classifier.
+func BuildGoogLeNet(opt Options) *Model {
+	opt = opt.normalize()
+	inHW := 64
+	if opt.Scale == Full {
+		inHW = 224
+	}
+	b := newBuilder(opt, inHW)
+	b.conv("conv1/7x7_s2", b.sc(64), 7, 2, 3, 1)
+	b.maxPool("pool1/3x3_s2", 3, 2, true)
+	b.lrn("pool1/norm1")
+	b.conv("conv2/3x3_reduce", b.sc(64), 1, 1, 0, 1)
+	b.conv("conv2/3x3", b.sc(192), 3, 1, 1, 1)
+	b.lrn("conv2/norm2")
+	b.maxPool("pool2/3x3_s2", 3, 2, true)
+
+	for i, m := range googleNetModules {
+		b.inception(m)
+		switch i {
+		case 1:
+			b.maxPool("pool3/3x3_s2", 3, 2, true)
+		case 6:
+			b.maxPool("pool4/3x3_s2", 3, 2, true)
+		}
+	}
+	b.globalAvgPool("pool5/7x7_s1")
+	b.dropout("pool5/drop")
+	head := b.fc("loss3/classifier", opt.Classes, false)
+	return b.finish("googlenet", "loss3/classifier", "pool5/drop", head, 0.68, 84.4)
+}
+
+// inception appends one inception module reading from the current node
+// and leaves b.prev at the module's concat output.
+func (b *builder) inception(m inceptionSpec) {
+	in := b.prev
+	inC := b.chanOf(in)
+
+	n1 := m.name + "/1x1"
+	b.convFrom(n1, in, inC, b.sc(m.c1), 1, 1, 0, 1)
+
+	n3r := m.name + "/3x3_reduce"
+	b.convFrom(n3r, in, inC, b.sc(m.c3r), 1, 1, 0, 1)
+	n3 := m.name + "/3x3"
+	b.convFrom(n3, n3r, b.sc(m.c3r), b.sc(m.c3), 3, 1, 1, 1)
+
+	n5r := m.name + "/5x5_reduce"
+	b.convFrom(n5r, in, inC, b.sc(m.c5r), 1, 1, 0, 1)
+	n5 := m.name + "/5x5"
+	b.convFrom(n5, n5r, b.sc(m.c5r), b.sc(m.c5), 5, 1, 2, 1)
+
+	np := m.name + "/pool"
+	b.g.Add(np, &nn.MaxPool2D{K: 3, Stride: 1, Pad: 1}, in)
+	npp := m.name + "/pool_proj"
+	b.convFrom(npp, np, inC, b.sc(m.pp), 1, 1, 0, 1)
+
+	out := m.name + "/output"
+	b.g.Add(out, nn.Concat{}, n1, n3, n5, npp)
+	b.prev = out
+}

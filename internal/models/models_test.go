@@ -1,0 +1,237 @@
+package models
+
+import (
+	"testing"
+
+	"snapea/internal/nn"
+	"snapea/internal/tensor"
+)
+
+func TestConvLayerCountsMatchPaper(t *testing.T) {
+	// Table I: AlexNet 5 conv / 3 FC, GoogLeNet 57 / 1, SqueezeNet 26
+	// (we realize the published 1×1 conv10 classifier as the FC head;
+	// see the builder comment), VGGNet 13 / 3.
+	cases := []struct {
+		name     string
+		conv, fc int
+	}{
+		{"alexnet", 5, 3},
+		{"googlenet", 57, 1},
+		{"squeezenet", 25, 1},
+		{"vggnet", 13, 3},
+		{"lenet", 2, 2},
+		{"tinynet", 3, 1},
+	}
+	for _, tc := range cases {
+		m, err := Build(tc.name, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := m.Describe()
+		if d.ConvLayers != tc.conv || d.FCLayers != tc.fc {
+			t.Errorf("%s: %d conv / %d fc, want %d / %d", tc.name, d.ConvLayers, d.FCLayers, tc.conv, tc.fc)
+		}
+	}
+}
+
+func TestAllModelsForwardReduced(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m, err := Build(name, Options{Classes: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			img := tensor.New(m.InputShape)
+			tensor.FillUniform(img, tensor.NewRNG(9), 0, 1)
+			out := m.Graph.Forward(img)
+			if s := out.Shape(); s.C != 7 || s.H != 1 || s.W != 1 {
+				t.Fatalf("output shape %v", s)
+			}
+			if got := m.Graph.OutShape(m.InputShape); got != out.Shape() {
+				t.Fatalf("OutShape %v != %v", got, out.Shape())
+			}
+		})
+	}
+}
+
+func TestFullScaleShapesPropagate(t *testing.T) {
+	// Full-scale models are too slow to forward in unit tests, but shape
+	// propagation exercises every geometry computation.
+	for _, name := range Evaluated() {
+		m, err := Build(name, Options{Scale: Full, Classes: 1000, SkipInit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := m.Graph.OutShape(m.InputShape)
+		if out.C != 1000 {
+			t.Errorf("%s: full-scale classes %d", name, out.C)
+		}
+	}
+}
+
+func TestFullScaleParamCountsNearPublished(t *testing.T) {
+	// Model sizes (Table I) should be in the right ballpark at full
+	// scale: AlexNet ≈ 224 MB (61M params), VGG-16 ≈ 554 MB (138M),
+	// GoogLeNet ≈ 54 MB, SqueezeNet well under 10 MB of conv params.
+	check := func(name string, loMB, hiMB float64) {
+		m, err := Build(name, Options{Scale: Full, Classes: 1000, SkipInit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := m.Describe()
+		if d.ModelSizeMB < loMB || d.ModelSizeMB > hiMB {
+			t.Errorf("%s: %.1f MB outside [%.0f, %.0f]", name, d.ModelSizeMB, loMB, hiMB)
+		}
+	}
+	check("alexnet", 180, 260)
+	check("vggnet", 480, 580)
+	check("googlenet", 20, 60)
+	check("squeezenet", 1, 10)
+}
+
+func TestGoogLeNetInceptionStructure(t *testing.T) {
+	m, _ := Build("googlenet", Options{})
+	// Every inception module must contribute exactly 6 convolutions and
+	// one concat with 4 inputs.
+	for _, spec := range googleNetModules {
+		n := m.Graph.Node(spec.name + "/output")
+		if n == nil {
+			t.Fatalf("missing module %s", spec.name)
+		}
+		if len(n.Inputs) != 4 {
+			t.Fatalf("%s concat has %d branches", spec.name, len(n.Inputs))
+		}
+	}
+}
+
+func TestSqueezeNetFireStructure(t *testing.T) {
+	m, _ := Build("squeezenet", Options{})
+	for _, f := range squeezeNetFires {
+		cn := m.Graph.Node(f.name + "/concat")
+		if cn == nil || len(cn.Inputs) != 2 {
+			t.Fatalf("fire %s malformed", f.name)
+		}
+		sq := m.Graph.Node(f.name + "/squeeze1x1")
+		conv := sq.Layer.(*nn.Conv2D)
+		if conv.KH != 1 {
+			t.Fatalf("squeeze layer must be 1x1")
+		}
+	}
+}
+
+func TestAlexNetGrouping(t *testing.T) {
+	m, _ := Build("alexnet", Options{})
+	for name, groups := range map[string]int{"conv1": 1, "conv2": 2, "conv3": 1, "conv4": 2, "conv5": 2} {
+		c := m.Graph.Node(name).Layer.(*nn.Conv2D)
+		if c.Groups != groups {
+			t.Errorf("%s groups %d want %d", name, c.Groups, groups)
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("resnet", Options{}); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	a, _ := Build("tinynet", Options{Seed: 5})
+	b, _ := Build("tinynet", Options{Seed: 5})
+	ca := a.ConvNodes()[0].Conv.Weights.Data()
+	cb := b.ConvNodes()[0].Conv.Weights.Data()
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+	c, _ := Build("tinynet", Options{Seed: 6})
+	cc := c.ConvNodes()[0].Conv.Weights.Data()
+	same := true
+	for i := range ca {
+		if ca[i] != cc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical weights")
+	}
+}
+
+func TestConvNodesTopoOrder(t *testing.T) {
+	m, _ := Build("vggnet", Options{})
+	convs := m.ConvNodes()
+	if len(convs) != 13 {
+		t.Fatalf("vgg convs %d", len(convs))
+	}
+	if convs[0].Name != "conv1_1" || convs[12].Name != "conv5_3" {
+		t.Fatalf("conv order: %s .. %s", convs[0].Name, convs[12].Name)
+	}
+}
+
+func TestDescribeMACsPositive(t *testing.T) {
+	for _, name := range Evaluated() {
+		m, _ := Build(name, Options{})
+		if d := m.Describe(); d.ConvMACs <= 0 {
+			t.Errorf("%s: conv MACs %d", name, d.ConvMACs)
+		}
+	}
+}
+
+func TestReducedChannelScaling(t *testing.T) {
+	// Reduced-profile channel counts are ≈0.25× the published widths,
+	// rounded down to multiples of 4 (grouped convs need even splits),
+	// with a floor of 4.
+	m, _ := Build("alexnet", Options{})
+	for name, want := range map[string]int{"conv1": 24, "conv2": 64, "conv3": 96, "conv5": 64} {
+		c := m.Graph.Node(name).Layer.(*nn.Conv2D)
+		if c.OutC != want {
+			t.Errorf("%s reduced channels %d, want %d", name, c.OutC, want)
+		}
+		if c.OutC%4 != 0 {
+			t.Errorf("%s channels %d not a multiple of 4", name, c.OutC)
+		}
+	}
+	g, _ := Build("googlenet", Options{})
+	// 5x5_reduce widths hit the floor: sc(16) = 4.
+	if c := g.Graph.Node("inception_3a/5x5_reduce").Layer.(*nn.Conv2D); c.OutC != 4 {
+		t.Errorf("5x5_reduce floor: %d", c.OutC)
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Reduced.String() != "reduced" || Full.String() != "full" {
+		t.Fatal("scale names")
+	}
+}
+
+func TestOptionsNormalizeDefaults(t *testing.T) {
+	m, _ := Build("tinynet", Options{})
+	if m.Classes != 10 {
+		t.Fatalf("default classes %d", m.Classes)
+	}
+	if m.Options.Seed == 0 {
+		t.Fatal("seed not defaulted")
+	}
+}
+
+func TestHeadAndFeatureNodesExist(t *testing.T) {
+	for _, name := range Names() {
+		m, _ := Build(name, Options{SkipInit: true})
+		if m.Graph.Node(m.HeadNode) == nil {
+			t.Errorf("%s: head node %q missing", name, m.HeadNode)
+		}
+		if m.FeatureNode != nn.InputName && m.Graph.Node(m.FeatureNode) == nil {
+			t.Errorf("%s: feature node %q missing", name, m.FeatureNode)
+		}
+		if m.Head == nil {
+			t.Errorf("%s: no trainable head", name)
+		}
+		if m.PaperNegFrac <= 0 || m.PaperNegFrac >= 1 {
+			t.Errorf("%s: negative-fraction target %g", name, m.PaperNegFrac)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package models
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"snapea/internal/nn"
+)
+
+// Weight serialization: a calibrated, head-trained model's parameters in
+// a small custom binary format, so expensive pipeline stages (bias
+// calibration, head training) can be done once and reused. The format is
+// little-endian:
+//
+//	magic "SNAPEA01" | name len+bytes | layer count |
+//	per layer: name len+bytes | weight count | weights | bias count | bias
+//
+// Topology is NOT serialized — the loader rebuilds the graph from the
+// model name and options and then requires an exact parameter-shape
+// match, which guards against loading weights into the wrong scale.
+
+const weightsMagic = "SNAPEA01"
+
+// paramLayer is a layer with learnable parameters.
+type paramLayer struct {
+	name    string
+	weights []float32
+	bias    []float32
+}
+
+func (m *Model) paramLayers() []paramLayer {
+	var out []paramLayer
+	for _, n := range m.Graph.Nodes() {
+		switch l := n.Layer.(type) {
+		case *nn.Conv2D:
+			out = append(out, paramLayer{n.Name, l.Weights.Data(), l.Bias})
+		case *nn.FC:
+			out = append(out, paramLayer{n.Name, l.Weights.Data(), l.Bias})
+		}
+	}
+	return out
+}
+
+// SaveWeights writes all convolution and FC parameters to w.
+func (m *Model) SaveWeights(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(weightsMagic); err != nil {
+		return err
+	}
+	if err := writeString(bw, m.Name); err != nil {
+		return err
+	}
+	layers := m.paramLayers()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(layers))); err != nil {
+		return err
+	}
+	for _, l := range layers {
+		if err := writeString(bw, l.name); err != nil {
+			return err
+		}
+		if err := writeFloats(bw, l.weights); err != nil {
+			return err
+		}
+		if err := writeFloats(bw, l.bias); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWeights fills the model's parameters from r. The stream must have
+// been produced by SaveWeights on a model with the same name and layer
+// shapes.
+func (m *Model) LoadWeights(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(weightsMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("models: read magic: %w", err)
+	}
+	if string(magic) != weightsMagic {
+		return fmt.Errorf("models: bad magic %q", magic)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return err
+	}
+	if name != m.Name {
+		return fmt.Errorf("models: weights are for %q, model is %q", name, m.Name)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	layers := m.paramLayers()
+	if int(count) != len(layers) {
+		return fmt.Errorf("models: %d serialized layers, model has %d", count, len(layers))
+	}
+	for _, l := range layers {
+		lname, err := readString(br)
+		if err != nil {
+			return err
+		}
+		if lname != l.name {
+			return fmt.Errorf("models: layer order mismatch: %q vs %q", lname, l.name)
+		}
+		if err := readFloats(br, l.weights); err != nil {
+			return fmt.Errorf("models: %s weights: %w", l.name, err)
+		}
+		if err := readFloats(br, l.bias); err != nil {
+			return fmt.Errorf("models: %s bias: %w", l.name, err)
+		}
+	}
+	return nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("models: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeFloats(w io.Writer, fs []float32) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(fs))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(fs))
+	for i, f := range fs {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(f))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFloats(r io.Reader, dst []float32) error {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	if int(n) != len(dst) {
+		return fmt.Errorf("expected %d values, stream has %d", len(dst), n)
+	}
+	buf := make([]byte, 4*len(dst))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}

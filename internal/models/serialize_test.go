@@ -1,0 +1,81 @@
+package models
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadWeightsRoundTrip(t *testing.T) {
+	a, _ := Build("tinynet", Options{Seed: 1})
+	b, _ := Build("tinynet", Options{Seed: 2}) // different weights
+
+	// Mark a recognizable value.
+	a.ConvNodes()[0].Conv.Bias[0] = 42
+	var buf bytes.Buffer
+	if err := a.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if b.ConvNodes()[0].Conv.Bias[0] != 42 {
+		t.Fatal("bias not restored")
+	}
+	wa := a.ConvNodes()[1].Conv.Weights.Data()
+	wb := b.ConvNodes()[1].Conv.Weights.Data()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("weights not restored bit-for-bit")
+		}
+	}
+	ha, hb := a.Head.Weights.Data(), b.Head.Weights.Data()
+	for i := range ha {
+		if ha[i] != hb[i] {
+			t.Fatal("head not restored")
+		}
+	}
+}
+
+func TestLoadWeightsRejectsWrongModel(t *testing.T) {
+	a, _ := Build("tinynet", Options{Seed: 1})
+	var buf bytes.Buffer
+	if err := a.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Build("lenet", Options{Seed: 1})
+	if err := b.LoadWeights(&buf); err == nil || !strings.Contains(err.Error(), "tinynet") {
+		t.Fatalf("expected model-name error, got %v", err)
+	}
+}
+
+func TestLoadWeightsRejectsBadMagic(t *testing.T) {
+	m, _ := Build("tinynet", Options{Seed: 1})
+	if err := m.LoadWeights(bytes.NewReader([]byte("NOTSNAPE...."))); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestLoadWeightsRejectsTruncation(t *testing.T) {
+	m, _ := Build("tinynet", Options{Seed: 1})
+	var buf bytes.Buffer
+	if err := m.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if err := m.LoadWeights(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestLoadWeightsRejectsScaleMismatch(t *testing.T) {
+	small, _ := Build("lenet", Options{Seed: 1, Classes: 10})
+	var buf bytes.Buffer
+	if err := small.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	big, _ := Build("lenet", Options{Seed: 1, Classes: 20}) // head shape differs
+	if err := big.LoadWeights(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}

@@ -1,0 +1,32 @@
+package models
+
+// BuildLeNet constructs a LeNet-style network. It appears only in the
+// Figure 1 negative-fraction survey (as in the paper) and in fast tests;
+// its channel counts are fixed regardless of scale.
+func BuildLeNet(opt Options) *Model {
+	opt = opt.normalize()
+	b := newBuilder(opt, 32)
+	b.conv("conv1", 20, 5, 1, 0, 1)
+	b.maxPool("pool1", 2, 2, false)
+	b.conv("conv2", 50, 5, 1, 0, 1)
+	b.maxPool("pool2", 2, 2, false)
+	b.fc("ip1", 500, true)
+	head := b.fc("ip2", opt.Classes, false)
+	return b.finish("lenet", "ip2", "ip1", head, 0.42, 99.1)
+}
+
+// BuildTinyNet constructs a three-convolution toy network used by unit
+// and property tests; it exercises every structural feature (fused ReLU,
+// pooling, global pooling, FC head) at trivial cost.
+func BuildTinyNet(opt Options) *Model {
+	opt = opt.normalize()
+	b := newBuilder(opt, 16)
+	b.conv("conv1", 8, 3, 1, 1, 1)
+	b.maxPool("pool1", 2, 2, false)
+	b.conv("conv2", 16, 3, 1, 1, 1)
+	b.maxPool("pool2", 2, 2, false)
+	b.conv("conv3", 32, 3, 1, 1, 1)
+	b.globalAvgPool("gap")
+	head := b.fc("classifier", opt.Classes, false)
+	return b.finish("tinynet", "classifier", "gap", head, 0.50, 0)
+}

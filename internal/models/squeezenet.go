@@ -1,0 +1,65 @@
+package models
+
+import "snapea/internal/nn"
+
+// fireSpec holds the widths of one SqueezeNet fire module: the 1×1
+// squeeze layer and the 1×1/3×3 expand layers.
+type fireSpec struct {
+	name      string
+	s, e1, e3 int
+	poolAfter bool
+}
+
+// squeezeNetFires is the published SqueezeNet v1.0 fire-module table.
+var squeezeNetFires = []fireSpec{
+	{"fire2", 16, 64, 64, false},
+	{"fire3", 16, 64, 64, false},
+	{"fire4", 32, 128, 128, true},
+	{"fire5", 32, 128, 128, false},
+	{"fire6", 48, 192, 192, false},
+	{"fire7", 48, 192, 192, false},
+	{"fire8", 64, 256, 256, true},
+	{"fire9", 64, 256, 256, false},
+}
+
+// BuildSqueezeNet constructs SqueezeNet v1.0: a 7×7 stem convolution,
+// eight fire modules (3 convolutions each), and a classifier head. This
+// is the already-statically-pruned network the paper uses to show SnaPEA
+// is complementary to pruning. The published 1×1 conv10 classifier is
+// realized here as the trainable FC head after the global average pool —
+// at 1×1 spatial extent the two are the same computation.
+func BuildSqueezeNet(opt Options) *Model {
+	opt = opt.normalize()
+	inHW := 80
+	if opt.Scale == Full {
+		inHW = 224
+	}
+	b := newBuilder(opt, inHW)
+	b.conv("conv1", b.sc(96), 7, 2, 0, 1)
+	b.maxPool("pool1", 3, 2, true)
+	for _, f := range squeezeNetFires {
+		b.fire(f)
+		if f.poolAfter {
+			b.maxPool("pool_"+f.name, 3, 2, true)
+		}
+	}
+	b.dropout("drop9")
+	b.globalAvgPool("pool10")
+	head := b.fc("classifier", opt.Classes, false)
+	return b.finish("squeezenet", "classifier", "pool10", head, 0.52, 74.1)
+}
+
+// fire appends one fire module and leaves b.prev at its concat output.
+func (b *builder) fire(f fireSpec) {
+	in := b.prev
+	inC := b.chanOf(in)
+	sq := f.name + "/squeeze1x1"
+	b.convFrom(sq, in, inC, b.sc(f.s), 1, 1, 0, 1)
+	e1 := f.name + "/expand1x1"
+	b.convFrom(e1, sq, b.sc(f.s), b.sc(f.e1), 1, 1, 0, 1)
+	e3 := f.name + "/expand3x3"
+	b.convFrom(e3, sq, b.sc(f.s), b.sc(f.e3), 3, 1, 1, 1)
+	out := f.name + "/concat"
+	b.g.Add(out, nn.Concat{}, e1, e3)
+	b.prev = out
+}

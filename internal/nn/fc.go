@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"fmt"
+
+	"snapea/internal/tensor"
+)
+
+// FC is a fully-connected layer. It flattens its input, so no separate
+// Flatten layer is needed between the conv stack and the classifier head.
+// The paper runs fully-connected layers on the same PE hardware as
+// convolutions (they account for ≈1% of CNN compute).
+type FC struct {
+	In, Out int
+	ReLU    bool
+	Weights *tensor.Tensor // {Out, In, 1, 1}
+	Bias    []float32
+}
+
+// NewFC allocates a fully-connected layer with zeroed parameters.
+func NewFC(in, out int, relu bool) *FC {
+	return &FC{
+		In: in, Out: out, ReLU: relu,
+		Weights: tensor.New(tensor.Shape{N: out, C: in, H: 1, W: 1}),
+		Bias:    make([]float32, out),
+	}
+}
+
+// ParamCount returns the number of learnable parameters.
+func (f *FC) ParamCount() int { return f.Out*f.In + f.Out }
+
+// OutShape implements Layer.
+func (f *FC) OutShape(ins []tensor.Shape) tensor.Shape {
+	in := oneShape(ins)
+	per := in.C * in.H * in.W
+	if per != f.In {
+		panic(fmt.Sprintf("nn: fc expects %d inputs, got %v (%d)", f.In, in, per))
+	}
+	return tensor.Shape{N: in.N, C: f.Out, H: 1, W: 1}
+}
+
+// Forward implements Layer.
+func (f *FC) Forward(ins []*tensor.Tensor) *tensor.Tensor {
+	in := one(ins)
+	s := in.Shape()
+	os := f.OutShape([]tensor.Shape{s})
+	out := tensor.New(os)
+	per := s.C * s.H * s.W
+	ind, outd, wd := in.Data(), out.Data(), f.Weights.Data()
+	for n := 0; n < s.N; n++ {
+		x := ind[n*per : (n+1)*per]
+		for o := 0; o < f.Out; o++ {
+			w := wd[o*f.In : (o+1)*f.In]
+			acc := f.Bias[o]
+			for i, xv := range x {
+				acc += xv * w[i]
+			}
+			if f.ReLU && acc < 0 {
+				acc = 0
+			}
+			outd[n*f.Out+o] = acc
+		}
+	}
+	return out
+}

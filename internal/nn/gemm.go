@@ -1,0 +1,99 @@
+package nn
+
+import "snapea/internal/tensor"
+
+// This file provides the classical im2col + GEMM formulation of
+// convolution. It exists as an independently-derived implementation to
+// cross-validate the direct convolution in conv.go (the tests assert the
+// two agree to float tolerance on every layer geometry the evaluated
+// networks use), and as the dense-compute reference the EYERISS-like
+// baseline conceptually executes.
+
+// Im2Col expands the input's convolution windows into a row-major matrix
+// of shape (outH*outW) × (inCg*KH*KW) for the given batch element and
+// channel group. Out-of-bounds taps contribute zeros.
+func Im2Col(c *Conv2D, in *tensor.Tensor, n, group int) ([]float32, int, int) {
+	s := in.Shape()
+	inCg := c.InC / c.Groups
+	oh := (s.H+2*c.PadH-c.KH)/c.StrideH + 1
+	ow := (s.W+2*c.PadW-c.KW)/c.StrideW + 1
+	rows := oh * ow
+	cols := inCg * c.KH * c.KW
+	out := make([]float32, rows*cols)
+	ind := in.Data()
+	cBase := group * inCg
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := (oy*ow + ox) * cols
+			i := 0
+			for ci := 0; ci < inCg; ci++ {
+				base := (n*s.C + cBase + ci) * s.H * s.W
+				for ky := 0; ky < c.KH; ky++ {
+					iy := oy*c.StrideH - c.PadH + ky
+					for kx := 0; kx < c.KW; kx++ {
+						ix := ox*c.StrideW - c.PadW + kx
+						if iy >= 0 && iy < s.H && ix >= 0 && ix < s.W {
+							out[row+i] = ind[base+iy*s.W+ix]
+						}
+						i++
+					}
+				}
+			}
+		}
+	}
+	return out, rows, cols
+}
+
+// MatMul computes C = A×Bᵀ where A is m×k (row-major) and B is n×k
+// (row-major), writing the m×n result into dst. This layout matches
+// im2col rows times kernel rows.
+func MatMul(a []float32, m, k int, b []float32, n int, dst []float32) {
+	if len(a) < m*k || len(b) < n*k || len(dst) < m*n {
+		panic("nn: MatMul dimension mismatch")
+	}
+	for i := 0; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			br := b[j*k : (j+1)*k]
+			var acc float32
+			for t := 0; t < k; t++ {
+				acc += ar[t] * br[t]
+			}
+			dst[i*n+j] = acc
+		}
+	}
+}
+
+// ForwardGEMM computes the convolution via im2col + GEMM. It produces
+// the same output as Forward (including the fused ReLU) and exists for
+// cross-validation.
+func (c *Conv2D) ForwardGEMM(in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape()
+	os := c.OutShape([]tensor.Shape{s})
+	out := tensor.New(os)
+	outd := out.Data()
+	outCg := c.OutC / c.Groups
+	wd := c.Weights.Data()
+	ksz := c.KernelSize()
+	for n := 0; n < s.N; n++ {
+		for g := 0; g < c.Groups; g++ {
+			cols, rows, k := Im2Col(c, in, n, g)
+			wBase := g * outCg * ksz
+			res := make([]float32, rows*outCg)
+			MatMul(cols, rows, k, wd[wBase:wBase+outCg*ksz], outCg, res)
+			for kc := 0; kc < outCg; kc++ {
+				oc := g*outCg + kc
+				bias := c.Bias[oc]
+				dst := outd[(n*os.C+oc)*os.H*os.W:]
+				for r := 0; r < rows; r++ {
+					v := res[r*outCg+kc] + bias
+					if c.ReLU && v < 0 {
+						v = 0
+					}
+					dst[r] = v
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"testing"
+
+	"snapea/internal/tensor"
+)
+
+func TestMatMulSmall(t *testing.T) {
+	// A = [1 2; 3 4] (2×2), B rows = [5 6], [7 8] → C = A×Bᵀ
+	a := []float32{1, 2, 3, 4}
+	b := []float32{5, 6, 7, 8}
+	dst := make([]float32, 4)
+	MatMul(a, 2, 2, b, 2, dst)
+	want := []float32{17, 23, 39, 53}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("matmul[%d] = %g want %g", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMatMulPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul([]float32{1}, 2, 2, []float32{1, 2}, 1, make([]float32, 2))
+}
+
+// TestGEMMMatchesDirect cross-validates the two independently-derived
+// convolution implementations over the geometries the evaluated networks
+// use (11×11/4 AlexNet stem, 7×7/2 SqueezeNet stem, grouped 5×5, 3×3
+// same-pad, pointwise 1×1).
+func TestGEMMMatchesDirect(t *testing.T) {
+	cases := []struct {
+		name                          string
+		inC, outC, k, stride, pad, gr int
+		relu                          bool
+		hw                            int
+	}{
+		{"alexnet-stem", 3, 8, 11, 4, 0, 1, true, 23},
+		{"squeezenet-stem", 3, 8, 7, 2, 0, 1, true, 17},
+		{"grouped", 8, 8, 5, 1, 2, 2, true, 9},
+		{"same-pad", 6, 10, 3, 1, 1, 1, true, 8},
+		{"pointwise", 12, 6, 1, 1, 0, 1, false, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := randConv(t, tc.inC, tc.outC, tc.k, tc.stride, tc.pad, tc.gr, tc.relu, 77)
+			in := randInput(tensor.Shape{N: 2, C: tc.inC, H: tc.hw, W: tc.hw}, 78)
+			direct := c.Forward([]*tensor.Tensor{in})
+			gemm := c.ForwardGEMM(in)
+			if d := direct.AbsDiffMax(gemm); d > 1e-4 {
+				t.Fatalf("implementations disagree: %g", d)
+			}
+		})
+	}
+}
+
+func TestIm2ColShapeAndZeroPadding(t *testing.T) {
+	c := NewConv2D(2, 2, 3, 3, 1, 1, 1, false)
+	in := tensor.New(tensor.Shape{N: 1, C: 2, H: 4, W: 4})
+	in.Fill(1)
+	cols, rows, k := Im2Col(c, in, 0, 0)
+	if rows != 16 || k != 18 {
+		t.Fatalf("im2col dims %d×%d", rows, k)
+	}
+	if len(cols) != rows*k {
+		t.Fatalf("len %d", len(cols))
+	}
+	// Corner window (0,0): taps outside the image must be zero — for a
+	// 3×3 kernel at the top-left corner, 5 of 9 taps per channel are
+	// out of bounds.
+	zeros := 0
+	for i := 0; i < k; i++ {
+		if cols[i] == 0 {
+			zeros++
+		}
+	}
+	if zeros != 10 { // 5 per channel × 2 channels
+		t.Fatalf("corner zeros %d, want 10", zeros)
+	}
+}

@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"snapea/internal/tensor"
+)
+
+// ReLU is a standalone rectifier layer, used where the activation is not
+// fused into a convolution (e.g. after plain FC layers in tests).
+type ReLU struct{}
+
+// OutShape implements Layer.
+func (ReLU) OutShape(ins []tensor.Shape) tensor.Shape { return oneShape(ins) }
+
+// Forward implements Layer.
+func (ReLU) Forward(ins []*tensor.Tensor) *tensor.Tensor {
+	in := one(ins)
+	out := in.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Dropout is an identity at inference time; it exists so model builders
+// can mirror the published topologies one-to-one.
+type Dropout struct{ Rate float64 }
+
+// OutShape implements Layer.
+func (Dropout) OutShape(ins []tensor.Shape) tensor.Shape { return oneShape(ins) }
+
+// Forward implements Layer.
+func (Dropout) Forward(ins []*tensor.Tensor) *tensor.Tensor { return one(ins) }
+
+// LRN is AlexNet/GoogLeNet-style local response normalization across
+// channels.
+type LRN struct {
+	Size  int // neighborhood size (e.g. 5)
+	Alpha float64
+	Beta  float64
+	K     float64
+}
+
+// DefaultLRN returns the parameters the published networks use.
+func DefaultLRN() *LRN { return &LRN{Size: 5, Alpha: 1e-4, Beta: 0.75, K: 1} }
+
+// OutShape implements Layer.
+func (l *LRN) OutShape(ins []tensor.Shape) tensor.Shape { return oneShape(ins) }
+
+// Forward implements Layer.
+func (l *LRN) Forward(ins []*tensor.Tensor) *tensor.Tensor {
+	in := one(ins)
+	s := in.Shape()
+	out := tensor.New(s)
+	ind, outd := in.Data(), out.Data()
+	half := l.Size / 2
+	plane := s.H * s.W
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			lo := c - half
+			if lo < 0 {
+				lo = 0
+			}
+			hi := c + half
+			if hi >= s.C {
+				hi = s.C - 1
+			}
+			for p := 0; p < plane; p++ {
+				var sq float64
+				for cc := lo; cc <= hi; cc++ {
+					v := float64(ind[(n*s.C+cc)*plane+p])
+					sq += v * v
+				}
+				scale := math.Pow(l.K+l.Alpha/float64(l.Size)*sq, l.Beta)
+				idx := (n*s.C+c)*plane + p
+				outd[idx] = float32(float64(ind[idx]) / scale)
+			}
+		}
+	}
+	return out
+}
+
+// Concat concatenates its inputs along the channel dimension — the join
+// at the end of every GoogLeNet inception module and SqueezeNet fire
+// module.
+type Concat struct{}
+
+// OutShape implements Layer.
+func (Concat) OutShape(ins []tensor.Shape) tensor.Shape {
+	if len(ins) == 0 {
+		panic("nn: concat with no inputs")
+	}
+	out := ins[0]
+	for _, s := range ins[1:] {
+		if s.N != out.N || s.H != out.H || s.W != out.W {
+			panic(fmt.Sprintf("nn: concat shape mismatch %v vs %v", out, s))
+		}
+		out.C += s.C
+	}
+	return out
+}
+
+// Forward implements Layer.
+func (c Concat) Forward(ins []*tensor.Tensor) *tensor.Tensor {
+	shapes := make([]tensor.Shape, len(ins))
+	for i, t := range ins {
+		shapes[i] = t.Shape()
+	}
+	os := c.OutShape(shapes)
+	out := tensor.New(os)
+	outd := out.Data()
+	plane := os.H * os.W
+	for n := 0; n < os.N; n++ {
+		cOff := 0
+		for _, t := range ins {
+			s := t.Shape()
+			src := t.Data()[n*s.C*plane : (n+1)*s.C*plane]
+			copy(outd[(n*os.C+cOff)*plane:], src)
+			cOff += s.C
+		}
+	}
+	return out
+}
+
+// Softmax normalizes the channel dimension into a probability
+// distribution per batch element.
+type Softmax struct{}
+
+// OutShape implements Layer.
+func (Softmax) OutShape(ins []tensor.Shape) tensor.Shape { return oneShape(ins) }
+
+// Forward implements Layer.
+func (Softmax) Forward(ins []*tensor.Tensor) *tensor.Tensor {
+	in := one(ins)
+	s := in.Shape()
+	out := tensor.New(s)
+	per := s.C * s.H * s.W
+	ind, outd := in.Data(), out.Data()
+	for n := 0; n < s.N; n++ {
+		x := ind[n*per : (n+1)*per]
+		y := outd[n*per : (n+1)*per]
+		m := float32(math.Inf(-1))
+		for _, v := range x {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for i, v := range x {
+			e := math.Exp(float64(v - m))
+			y[i] = float32(e)
+			sum += e
+		}
+		for i := range y {
+			y[i] = float32(float64(y[i]) / sum)
+		}
+	}
+	return out
+}

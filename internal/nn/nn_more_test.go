@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"snapea/internal/tensor"
+)
+
+// TestConvNonNegativeInputsStayNonNegative: the fused-ReLU invariant
+// SnaPEA's exact mode rests on — every conv+ReLU output is a valid
+// non-negative input for the next layer.
+func TestConvNonNegativeChain(t *testing.T) {
+	c1 := randConv(t, 3, 6, 3, 1, 1, 1, true, 101)
+	c2 := randConv(t, 6, 4, 3, 1, 1, 1, true, 102)
+	in := randInput(tensor.Shape{N: 1, C: 3, H: 8, W: 8}, 103)
+	mid := c1.Forward([]*tensor.Tensor{in})
+	if mid.Min() < 0 {
+		t.Fatal("first conv output negative")
+	}
+	out := c2.Forward([]*tensor.Tensor{mid})
+	if out.Min() < 0 {
+		t.Fatal("second conv output negative")
+	}
+}
+
+func TestConvKernelViewAliases(t *testing.T) {
+	c := NewConv2D(2, 3, 3, 3, 1, 1, 1, true)
+	k1 := c.Kernel(1)
+	if len(k1) != c.KernelSize() {
+		t.Fatalf("kernel view len %d", len(k1))
+	}
+	k1[0] = 7
+	if c.Weights.At(1, 0, 0, 0) != 7 {
+		t.Fatal("kernel view does not alias weights")
+	}
+}
+
+func TestConvOutShapePanicsOnBadChannels(t *testing.T) {
+	c := NewConv2D(3, 4, 3, 3, 1, 1, 1, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.OutShape([]tensor.Shape{{N: 1, C: 5, H: 8, W: 8}})
+}
+
+func TestConvCollapsedOutputPanics(t *testing.T) {
+	c := NewConv2D(3, 4, 7, 7, 1, 0, 1, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.OutShape([]tensor.Shape{{N: 1, C: 3, H: 4, W: 4}})
+}
+
+func TestNewConvGroupValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for indivisible groups")
+		}
+	}()
+	NewConv2D(3, 4, 3, 3, 1, 1, 2, true)
+}
+
+func TestAvgPoolPaddingCountsZeros(t *testing.T) {
+	// Caffe-style average pooling divides by the full window area, so
+	// padded taps pull the average down.
+	in := tensor.New(tensor.Shape{N: 1, C: 1, H: 2, W: 2})
+	in.Fill(4)
+	p := &AvgPool2D{K: 2, Stride: 2, Pad: 1, Ceil: false}
+	out := p.Forward([]*tensor.Tensor{in})
+	// Top-left window covers one real pixel (value 4) and three pads.
+	if out.At(0, 0, 0, 0) != 1 {
+		t.Fatalf("padded average %g, want 1", out.At(0, 0, 0, 0))
+	}
+}
+
+func TestLRNGoldenValue(t *testing.T) {
+	// Single channel, size 5, alpha=1e-4, beta=0.75, k=1: the scale for
+	// value v is (1 + (1e-4/5)·v²)^0.75.
+	l := DefaultLRN()
+	in := tensor.Wrap(tensor.Shape{N: 1, C: 1, H: 1, W: 1}, []float32{10})
+	out := l.Forward([]*tensor.Tensor{in})
+	want := 10 / math.Pow(1+1e-4/5*100, 0.75)
+	if math.Abs(float64(out.Data()[0])-want) > 1e-6 {
+		t.Fatalf("lrn %g want %g", out.Data()[0], want)
+	}
+}
+
+func TestLRNNeighborhoodEffect(t *testing.T) {
+	// A large neighbor must depress a channel's output more than an
+	// empty neighborhood.
+	l := DefaultLRN()
+	alone := tensor.Wrap(tensor.Shape{N: 1, C: 2, H: 1, W: 1}, []float32{1, 0})
+	crowded := tensor.Wrap(tensor.Shape{N: 1, C: 2, H: 1, W: 1}, []float32{1, 100})
+	a := l.Forward([]*tensor.Tensor{alone}).At(0, 0, 0, 0)
+	c := l.Forward([]*tensor.Tensor{crowded}).At(0, 0, 0, 0)
+	if c >= a {
+		t.Fatalf("crowded %g >= alone %g", c, a)
+	}
+}
+
+func TestSoftmaxBatchIndependence(t *testing.T) {
+	in := randInput(tensor.Shape{N: 3, C: 5, H: 1, W: 1}, 7)
+	all := Softmax{}.Forward([]*tensor.Tensor{in})
+	for n := 0; n < 3; n++ {
+		single := Softmax{}.Forward([]*tensor.Tensor{in.Batch(n)})
+		for c := 0; c < 5; c++ {
+			if math.Abs(float64(all.At(n, c, 0, 0)-single.At(0, c, 0, 0))) > 1e-6 {
+				t.Fatal("softmax mixes batch elements")
+			}
+		}
+	}
+}
+
+func TestConcatOrderPreserved(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		a := randInput(tensor.Shape{N: 1, C: 2, H: 2, W: 2}, seedA)
+		b := randInput(tensor.Shape{N: 1, C: 3, H: 2, W: 2}, seedB)
+		out := Concat{}.Forward([]*tensor.Tensor{a, b})
+		for c := 0; c < 2; c++ {
+			for h := 0; h < 2; h++ {
+				for w := 0; w < 2; w++ {
+					if out.At(0, c, h, w) != a.At(0, c, h, w) {
+						return false
+					}
+				}
+			}
+		}
+		for c := 0; c < 3; c++ {
+			for h := 0; h < 2; h++ {
+				for w := 0; w < 2; w++ {
+					if out.At(0, 2+c, h, w) != b.At(0, c, h, w) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatShapeMismatchPanics(t *testing.T) {
+	a := tensor.New(tensor.Shape{N: 1, C: 1, H: 2, W: 2})
+	b := tensor.New(tensor.Shape{N: 1, C: 1, H: 3, W: 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Concat{}.Forward([]*tensor.Tensor{a, b})
+}
+
+func TestFCBatchMatchesSingle(t *testing.T) {
+	f := NewFC(6, 3, true)
+	tensor.FillNorm(f.Weights, tensor.NewRNG(5), 0, 0.5)
+	in := randInput(tensor.Shape{N: 4, C: 6, H: 1, W: 1}, 6)
+	batch := f.Forward([]*tensor.Tensor{in})
+	for n := 0; n < 4; n++ {
+		single := f.Forward([]*tensor.Tensor{in.Batch(n)})
+		for o := 0; o < 3; o++ {
+			if batch.At(n, o, 0, 0) != single.At(0, o, 0, 0) {
+				t.Fatal("fc batch result differs from single")
+			}
+		}
+	}
+}
+
+func TestGraphSetOutput(t *testing.T) {
+	g := NewGraph()
+	g.Add("a", ReLU{}, InputName)
+	g.Add("b", Dropout{}, "a")
+	g.SetOutput("a")
+	if g.Output() != "a" {
+		t.Fatal("SetOutput ignored")
+	}
+	in := randInput(tensor.Shape{N: 1, C: 2, H: 2, W: 2}, 9)
+	out := g.Forward(in)
+	if out.Min() < 0 {
+		t.Fatal("output is not node a's (relu)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown output")
+		}
+	}()
+	g.SetOutput("zzz")
+}
+
+func TestGraphNodeAccessors(t *testing.T) {
+	g := NewGraph()
+	g.Add("a", ReLU{}, InputName)
+	if g.Len() != 1 || g.Node("a") == nil || g.Node("b") != nil {
+		t.Fatal("accessors broken")
+	}
+	if g.Nodes()[0].Name != "a" {
+		t.Fatal("nodes order")
+	}
+}

@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"snapea/internal/tensor"
+)
+
+// MaxPool2D is a max-pooling layer. The paper notes max pooling after a
+// convolution filters out the small positive values misspeculation tends
+// to hit, which is why the predictive mode's errors are mostly benign.
+type MaxPool2D struct {
+	K, Stride, Pad int
+	// Ceil selects Caffe-style ceil-mode output sizing, used by the
+	// original AlexNet/GoogLeNet deployments.
+	Ceil bool
+}
+
+// OutShape implements Layer.
+func (p *MaxPool2D) OutShape(ins []tensor.Shape) tensor.Shape {
+	in := oneShape(ins)
+	return tensor.Shape{N: in.N, C: in.C, H: poolDim(in.H, p.K, p.Stride, p.Pad, p.Ceil), W: poolDim(in.W, p.K, p.Stride, p.Pad, p.Ceil)}
+}
+
+func poolDim(in, k, stride, pad int, ceil bool) int {
+	num := in + 2*pad - k
+	if num < 0 {
+		panic(fmt.Sprintf("nn: pool window %d larger than padded input %d", k, in+2*pad))
+	}
+	if ceil {
+		return (num+stride-1)/stride + 1
+	}
+	return num/stride + 1
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(ins []*tensor.Tensor) *tensor.Tensor {
+	in := one(ins)
+	s := in.Shape()
+	os := p.OutShape([]tensor.Shape{s})
+	out := tensor.New(os)
+	ind, outd := in.Data(), out.Data()
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			base := (n*s.C + c) * s.H * s.W
+			for oy := 0; oy < os.H; oy++ {
+				for ox := 0; ox < os.W; ox++ {
+					m := float32(math.Inf(-1))
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride - p.Pad + ky
+						if iy < 0 || iy >= s.H {
+							continue
+						}
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride - p.Pad + kx
+							if ix < 0 || ix >= s.W {
+								continue
+							}
+							if v := ind[base+iy*s.W+ix]; v > m {
+								m = v
+							}
+						}
+					}
+					outd[((n*os.C+c)*os.H+oy)*os.W+ox] = m
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2D is an average-pooling layer (GoogLeNet's 7×7 global pool).
+// Padding contributes zeros to the average, matching Caffe.
+type AvgPool2D struct {
+	K, Stride, Pad int
+	Ceil           bool
+}
+
+// OutShape implements Layer.
+func (p *AvgPool2D) OutShape(ins []tensor.Shape) tensor.Shape {
+	in := oneShape(ins)
+	return tensor.Shape{N: in.N, C: in.C, H: poolDim(in.H, p.K, p.Stride, p.Pad, p.Ceil), W: poolDim(in.W, p.K, p.Stride, p.Pad, p.Ceil)}
+}
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(ins []*tensor.Tensor) *tensor.Tensor {
+	in := one(ins)
+	s := in.Shape()
+	os := p.OutShape([]tensor.Shape{s})
+	out := tensor.New(os)
+	ind, outd := in.Data(), out.Data()
+	area := float32(p.K * p.K)
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			base := (n*s.C + c) * s.H * s.W
+			for oy := 0; oy < os.H; oy++ {
+				for ox := 0; ox < os.W; ox++ {
+					var acc float32
+					for ky := 0; ky < p.K; ky++ {
+						iy := oy*p.Stride - p.Pad + ky
+						if iy < 0 || iy >= s.H {
+							continue
+						}
+						for kx := 0; kx < p.K; kx++ {
+							ix := ox*p.Stride - p.Pad + kx
+							if ix < 0 || ix >= s.W {
+								continue
+							}
+							acc += ind[base+iy*s.W+ix]
+						}
+					}
+					outd[((n*os.C+c)*os.H+oy)*os.W+ox] = acc / area
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+// Package prune implements magnitude-based static weight pruning — the
+// family of techniques (Deep Compression, SqueezeNet's design) the paper
+// positions SnaPEA as complementary to: pruning removes weights offline
+// and input-agnostically, SnaPEA removes work at runtime per input. The
+// pruning experiment composes the two and shows the savings stack.
+package prune
+
+import (
+	"sort"
+
+	"snapea/internal/models"
+	"snapea/internal/nn"
+)
+
+// Report summarizes a pruning pass.
+type Report struct {
+	// Sparsity is the requested fraction of conv weights zeroed.
+	Sparsity float64
+	// Pruned / Total count convolution weights.
+	Pruned, Total int
+}
+
+// Convs zeroes the smallest-magnitude fraction of every convolution
+// layer's weights (per-layer magnitude pruning, as in the standard
+// static pruning pipelines). Biases are untouched; callers should
+// re-calibrate afterwards since the activation distribution shifts.
+func Convs(m *models.Model, sparsity float64) Report {
+	rep := Report{Sparsity: sparsity}
+	for _, cn := range m.ConvNodes() {
+		rep.prune(cn.Conv, sparsity)
+	}
+	return rep
+}
+
+func (r *Report) prune(c *nn.Conv2D, sparsity float64) {
+	d := c.Weights.Data()
+	r.Total += len(d)
+	if sparsity <= 0 {
+		return
+	}
+	mags := make([]float32, len(d))
+	for i, v := range d {
+		if v < 0 {
+			mags[i] = -v
+		} else {
+			mags[i] = v
+		}
+	}
+	sorted := append([]float32(nil), mags...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	k := int(sparsity * float64(len(sorted)))
+	if k >= len(sorted) {
+		k = len(sorted) - 1
+	}
+	th := sorted[k]
+	for i := range d {
+		if mags[i] < th {
+			d[i] = 0
+			r.Pruned++
+		}
+	}
+}
+
+// Sparsity reports the fraction of exactly-zero convolution weights.
+func Sparsity(m *models.Model) float64 {
+	var zero, total int
+	for _, cn := range m.ConvNodes() {
+		for _, v := range cn.Conv.Weights.Data() {
+			if v == 0 {
+				zero++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zero) / float64(total)
+}

@@ -1,0 +1,85 @@
+package prune
+
+import (
+	"testing"
+
+	"snapea/internal/models"
+	"snapea/internal/snapea"
+	"snapea/internal/tensor"
+)
+
+func TestConvsHitsSparsity(t *testing.T) {
+	m, err := models.Build("tinynet", models.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Sparsity(m); s != 0 {
+		t.Fatalf("fresh model sparsity %g", s)
+	}
+	rep := Convs(m, 0.4)
+	got := Sparsity(m)
+	if got < 0.35 || got > 0.45 {
+		t.Fatalf("sparsity %.3f, want ≈0.4", got)
+	}
+	if rep.Pruned == 0 || rep.Total == 0 {
+		t.Fatalf("report empty: %+v", rep)
+	}
+}
+
+func TestConvsZeroSparsityIsNoop(t *testing.T) {
+	m, _ := models.Build("tinynet", models.Options{Seed: 4})
+	before := append([]float32(nil), m.ConvNodes()[0].Conv.Weights.Data()...)
+	Convs(m, 0)
+	after := m.ConvNodes()[0].Conv.Weights.Data()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("zero sparsity mutated weights")
+		}
+	}
+}
+
+func TestPrunedSmallestMagnitudesGo(t *testing.T) {
+	m, _ := models.Build("tinynet", models.Options{Seed: 5})
+	Convs(m, 0.3)
+	for _, cn := range m.ConvNodes() {
+		d := cn.Conv.Weights.Data()
+		var maxZeroed, minKept float32 = 0, 1e9
+		for _, v := range d {
+			if v == 0 {
+				continue
+			}
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a < minKept {
+				minKept = a
+			}
+		}
+		_ = maxZeroed
+		// Every surviving weight must exceed some positive floor.
+		if minKept <= 0 {
+			t.Fatalf("%s kept a zero-magnitude weight", cn.Name)
+		}
+	}
+}
+
+// TestSnaPEAStillWorksOnPruned: the paper's SqueezeNet point — exact
+// early termination keeps saving MACs on a statically pruned network,
+// with unchanged outputs.
+func TestSnaPEAStillWorksOnPruned(t *testing.T) {
+	m, _ := models.Build("tinynet", models.Options{Seed: 6})
+	Convs(m, 0.5)
+	img := tensor.New(m.InputShape)
+	tensor.FillUniform(img, tensor.NewRNG(7), 0, 1)
+	want := m.Graph.Forward(img)
+	net := snapea.CompileExact(m)
+	trace := snapea.NewNetTrace()
+	got := net.Forward(img, snapea.RunOpts{}, trace)
+	if d := got.AbsDiffMax(want); d > 1e-3 {
+		t.Fatalf("pruned exact mode diverged: %g", d)
+	}
+	if trace.Reduction() <= 0 {
+		t.Fatal("no dynamic savings on pruned model")
+	}
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:   "T",
+		Headers: []string{"A", "Long Header"},
+	}
+	tb.Add("x", "1")
+	tb.Add("longer cell", "2")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// All table lines must be equal width.
+	w := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != w {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+	if !strings.Contains(out, "longer cell") {
+		t.Fatal("cell missing")
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := Table{Headers: []string{"A", "B"}}
+	tb.Add("only-one")
+	if !strings.Contains(tb.String(), "only-one") {
+		t.Fatal("short row dropped")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean %g", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean must be 0")
+	}
+	if Geomean([]float64{1, -1}) != 0 {
+		t.Fatal("non-positive input must yield 0")
+	}
+}
+
+func TestGeomeanBetweenMinMax(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := Geomean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if X(1.284) != "1.28x" {
+		t.Fatalf("X: %q", X(1.284))
+	}
+	if Pct(0.678) != "67.8%" {
+		t.Fatalf("Pct: %q", Pct(0.678))
+	}
+	if F(3.14159, 2) != "3.14" {
+		t.Fatalf("F: %q", F(3.14159, 2))
+	}
+}
+
+func TestBar(t *testing.T) {
+	full := Bar("x", 10, 10, 20)
+	empty := Bar("x", 0, 10, 20)
+	if strings.Count(full, "█") != 20 {
+		t.Fatalf("full bar: %q", full)
+	}
+	if strings.Count(empty, "█") != 0 {
+		t.Fatalf("empty bar: %q", empty)
+	}
+	over := Bar("x", 20, 10, 20)
+	if strings.Count(over, "█") != 20 {
+		t.Fatal("overflow must clamp")
+	}
+}

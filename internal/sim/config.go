@@ -1,0 +1,143 @@
+// Package sim is the cycle-level simulator of the SnaPEA accelerator and
+// its EYERISS-like dense baseline (Section VI-A, "Cycle-level
+// microarchitecture simulation"). Both machines are configured for the
+// same 256-MAC peak throughput; the paper's published area (Table II) and
+// per-event energies (Table III) are the cost model — the paper itself
+// obtained them from TSMC-45nm synthesis, CACTI-P and the Micron DDR4
+// power calculator, which this pure-Go reproduction substitutes with the
+// published constants (see DESIGN.md).
+package sim
+
+// Config describes one accelerator instance.
+type Config struct {
+	Name string
+	// PE array geometry: PERows vertical groups share kernels, PECols
+	// horizontal groups share input portions (Section V,
+	// "Organization of PEs").
+	PERows, PECols int
+	// LanesPerPE compute lanes share one weight/index broadcast per
+	// cycle inside each PE; each lane owns one convolution window.
+	LanesPerPE int
+	// InputBanks is the number of input-buffer read ports per PE. The
+	// baseline design provisions one bank per default lane; running
+	// more lanes than banks serializes input fetches (this is what
+	// makes Figure 12 bend downward at 2× and 4× lanes).
+	InputBanks int
+	// SyncGroups is how many lane-groups a PE may run ahead before the
+	// array synchronizes on the next input portion delivery.
+	SyncGroups int
+	// FrequencyMHz is the clock (both designs run at 500 MHz).
+	FrequencyMHz int
+	// BitsPerValue is the fixed-point word width (16-bit).
+	BitsPerValue int
+	// DRAMBytesPerCycle bounds off-chip bandwidth for the
+	// double-buffered overlap model.
+	DRAMBytesPerCycle float64
+	// Predictive marks a SnaPEA-style machine with index buffers and
+	// PAUs (cost accounting differs from the dense baseline).
+	Predictive bool
+}
+
+// MACs returns the peak multiply-accumulate units.
+func (c Config) MACs() int { return c.PERows * c.PECols * c.LanesPerPE }
+
+// SnaPEAConfig returns the paper's SnaPEA design point: an 8×8 array of
+// PEs with four compute lanes each (256 MACs) at 500 MHz.
+func SnaPEAConfig() Config {
+	return Config{
+		Name:              "SnaPEA",
+		PERows:            8,
+		PECols:            8,
+		LanesPerPE:        4,
+		InputBanks:        4,
+		SyncGroups:        32,
+		FrequencyMHz:      500,
+		BitsPerValue:      16,
+		DRAMBytesPerCycle: 64,
+		Predictive:        true,
+	}
+}
+
+// EyerissConfig returns the baseline: 256 single-lane PEs with the same
+// peak throughput, on-chip memory, and frequency.
+func EyerissConfig() Config {
+	return Config{
+		Name:              "EYERISS",
+		PERows:            16,
+		PECols:            16,
+		LanesPerPE:        1,
+		InputBanks:        1,
+		SyncGroups:        32,
+		FrequencyMHz:      500,
+		BitsPerValue:      16,
+		DRAMBytesPerCycle: 64,
+		Predictive:        false,
+	}
+}
+
+// WithLanes returns the config with the lane count per PE scaled by
+// factor (Figure 12's sweep: 0.5×, 1×, 2×, 4×). The PE count and input
+// banking stay fixed, as in the paper.
+func (c Config) WithLanes(factor float64) Config {
+	l := int(float64(c.LanesPerPE)*factor + 0.5)
+	if l < 1 {
+		l = 1
+	}
+	c.LanesPerPE = l
+	return c
+}
+
+// Energy costs in pJ/bit (Table III).
+const (
+	EnergyRegisterAccess = 0.20 // register file / small SRAM access
+	EnergyPE             = 0.30 // 16-bit fixed-point MAC
+	EnergyInterPE        = 0.40 // inter-PE communication
+	EnergyGlobalBuffer   = 1.20 // global buffer access
+	EnergyDRAM           = 15.0 // DDR4 access
+)
+
+// AreaEntry is one row of the Table II area breakdown.
+type AreaEntry struct {
+	Component   string
+	SnaPEASize  string
+	SnaPEAmm2   float64
+	EyerissSize string
+	Eyerissmm2  float64
+}
+
+// AreaTable reproduces Table II: SnaPEA and EYERISS design parameters
+// and area breakdown (TSMC 45 nm).
+func AreaTable() []AreaEntry {
+	return []AreaEntry{
+		{"# Compute Lanes / PE", "4", 0.012, "1", 0.003},
+		{"Partial Sum Register", "N/A", 0, "48 B", 0.002},
+		{"Input Register", "N/A", 0, "24 B", 0.001},
+		{"Weight Buffer", "0.5 KB", 0.014, "0.5 KB", 0.014},
+		{"Index Buffer", "0.5 KB", 0.007, "N/A", 0},
+		{"Input / Output RAM", "20 KB", 0.250, "N/A", 0},
+		{"Predictive Activation Units", "4", 0.008, "N/A", 0},
+		{"Number of PEs", "64", 18.62, "256", 4.94},
+		{"Global Buffer", "N/A", 0, "1.25 MB", 12.9},
+	}
+}
+
+// TotalArea sums the per-accelerator totals of Table II.
+func TotalArea() (snapeaMM2, eyerissMM2 float64) { return 18.6, 17.8 }
+
+// EnergyRow is one row of Table III.
+type EnergyRow struct {
+	Operation string
+	PJPerBit  float64
+	Relative  float64
+}
+
+// EnergyTable reproduces Table III.
+func EnergyTable() []EnergyRow {
+	return []EnergyRow{
+		{"Register File Access", EnergyRegisterAccess, 1.0},
+		{"16-bit Fixed Point PE", EnergyPE, 1.5},
+		{"Inter-PE Communication", EnergyInterPE, 2.0},
+		{"Global Buffer Access", EnergyGlobalBuffer, 6.0},
+		{"DDR4 Memory Access", EnergyDRAM, 75.0},
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import "testing"
+
+func TestAreaTableMatchesPaperTotals(t *testing.T) {
+	// Summing the per-PE components × PE count plus the global buffer
+	// should land near the published totals (the paper's Table II also
+	// includes controller overheads, so allow slack).
+	var snapPE, eyerPE float64
+	for _, r := range AreaTable() {
+		switch r.Component {
+		case "Number of PEs", "Global Buffer":
+			continue
+		default:
+			snapPE += r.SnaPEAmm2
+			eyerPE += r.Eyerissmm2
+		}
+	}
+	// 64 SnaPEA PEs at ~0.29 mm² each ≈ 18.6 mm²; 256 EYERISS PEs at
+	// ~0.019 mm² plus the 12.9 mm² global buffer ≈ 17.8 mm².
+	if snap := snapPE * 64; snap < 15 || snap > 22 {
+		t.Errorf("SnaPEA PE-derived area %.1f mm² implausible", snap)
+	}
+	if eyer := eyerPE*256 + 12.9; eyer < 15 || eyer > 22 {
+		t.Errorf("EYERISS derived area %.1f mm² implausible", eyer)
+	}
+}
+
+func TestEnergyOrdering(t *testing.T) {
+	// Table III's hierarchy: RF < PE < inter-PE < buffer < DRAM.
+	if !(EnergyRegisterAccess < EnergyPE &&
+		EnergyPE < EnergyInterPE &&
+		EnergyInterPE < EnergyGlobalBuffer &&
+		EnergyGlobalBuffer < EnergyDRAM) {
+		t.Fatal("energy-cost hierarchy violated")
+	}
+	if EnergyDRAM/EnergyRegisterAccess != 75 {
+		t.Fatalf("DRAM relative cost %.1f, paper says 75", EnergyDRAM/EnergyRegisterAccess)
+	}
+}
+
+func TestConfigsDiffer(t *testing.T) {
+	s, e := SnaPEAConfig(), EyerissConfig()
+	if !s.Predictive || e.Predictive {
+		t.Fatal("predictive flags")
+	}
+	if s.LanesPerPE != 4 || e.LanesPerPE != 1 {
+		t.Fatal("lane counts")
+	}
+	if s.PERows*s.PECols != 64 || e.PERows*e.PECols != 256 {
+		t.Fatal("PE counts (Table II: 64 vs 256)")
+	}
+}
+
+func TestLayerLoadArithmetic(t *testing.T) {
+	l := &LayerLoad{KernelSize: 9, OutC: 4, OutH: 5, OutW: 6, Batch: 3}
+	if l.Windows() != 3*4*5*6 {
+		t.Fatalf("windows %d", l.Windows())
+	}
+	if l.DenseOps() != l.Windows()*9 {
+		t.Fatalf("dense ops %d", l.DenseOps())
+	}
+}
+
+func TestEnergyBreakdownAccumulates(t *testing.T) {
+	a := EnergyBreakdown{MACPJ: 1, RFPJ: 2, InterPEPJ: 3, BufferPJ: 4, DRAMPJ: 5}
+	b := a
+	a.add(b)
+	if a.Total() != 2*b.Total() {
+		t.Fatalf("add: %g vs %g", a.Total(), 2*b.Total())
+	}
+	if b.Total() != 15 {
+		t.Fatalf("total %g", b.Total())
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	l := &LayerLoad{KernelSize: 16, OutC: 8, OutH: 4, OutW: 4, Batch: 1, InputElems: 64, WeightElems: 128}
+	l.TotalOps = l.DenseOps()
+	res := Simulate(SnaPEAConfig(), []*LayerLoad{l})
+	if res.TimeMS() <= 0 {
+		t.Fatal("time")
+	}
+	if res.String() == "" {
+		t.Fatal("stringer")
+	}
+	if res.Speedup(res) != 1 {
+		t.Fatal("self speedup must be 1")
+	}
+	if res.EnergyReduction(res) != 1 {
+		t.Fatal("self energy reduction must be 1")
+	}
+	var zero Result
+	if zero.Speedup(res) != 0 || zero.EnergyReduction(res) != 0 {
+		t.Fatal("zero-result ratios must be 0")
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+
+	"snapea/internal/models"
+	"snapea/internal/nn"
+	"snapea/internal/snapea"
+	"snapea/internal/tensor"
+)
+
+// LoadsFromTrace converts a SnaPEA network trace into per-layer
+// simulator loads, in the model's topological layer order, appending the
+// fully-connected layers as dense loads (the paper runs them on the same
+// PEs). spill marks activation traffic that must round-trip DRAM
+// (VGGNet).
+func LoadsFromTrace(m *models.Model, trace *snapea.NetTrace, spill bool) []*LayerLoad {
+	var out []*LayerLoad
+	batch := 0
+	for _, cn := range m.ConvNodes() {
+		tr, ok := trace.Layers[cn.Name]
+		if !ok {
+			panic(fmt.Sprintf("sim: trace missing layer %q", cn.Name))
+		}
+		if batch == 0 {
+			batch = tr.Batch
+		}
+		out = append(out, &LayerLoad{
+			Name:        cn.Name,
+			KernelSize:  tr.KernelSize,
+			OutC:        tr.OutC,
+			OutH:        tr.OutH,
+			OutW:        tr.OutW,
+			Batch:       tr.Batch,
+			Ops:         tr.Ops,
+			TotalOps:    tr.TotalOps,
+			InputElems:  tr.InputElems,
+			WeightElems: tr.WeightElems,
+			SpillToDRAM: spill,
+		})
+	}
+	out = append(out, fcLoads(m, batch, spill)...)
+	return out
+}
+
+// LoadsDense builds the unaltered (dense) loads of a model for the given
+// batch size — what the EYERISS baseline executes.
+func LoadsDense(m *models.Model, batch int, spill bool) []*LayerLoad {
+	var out []*LayerLoad
+	shapes := map[string]tensor.Shape{nn.InputName: m.InputShape}
+	for _, n := range m.Graph.Nodes() {
+		ins := make([]tensor.Shape, len(n.Inputs))
+		for i, name := range n.Inputs {
+			ins[i] = shapes[name]
+		}
+		os := n.Layer.OutShape(ins)
+		shapes[n.Name] = os
+		conv, ok := n.Layer.(*nn.Conv2D)
+		if !ok {
+			continue
+		}
+		in := ins[0]
+		l := &LayerLoad{
+			Name:        n.Name,
+			KernelSize:  conv.KernelSize(),
+			OutC:        os.C,
+			OutH:        os.H,
+			OutW:        os.W,
+			Batch:       batch,
+			InputElems:  int64(batch) * int64(in.C*in.H*in.W),
+			WeightElems: int64(conv.OutC) * int64(conv.KernelSize()),
+			SpillToDRAM: spill,
+		}
+		l.TotalOps = l.DenseOps()
+		out = append(out, l)
+	}
+	out = append(out, fcLoads(m, batch, spill)...)
+	return out
+}
+
+// fcLoads models each fully-connected layer as a dense 1×1-output layer.
+func fcLoads(m *models.Model, batch int, spill bool) []*LayerLoad {
+	var out []*LayerLoad
+	for i, fc := range m.FCLayers() {
+		l := &LayerLoad{
+			Name:        fmt.Sprintf("fc%d", i),
+			KernelSize:  fc.In,
+			OutC:        fc.Out,
+			OutH:        1,
+			OutW:        1,
+			Batch:       batch,
+			InputElems:  int64(batch) * int64(fc.In),
+			WeightElems: int64(fc.Out) * int64(fc.In),
+			SpillToDRAM: spill,
+			FC:          true,
+		}
+		l.TotalOps = l.DenseOps()
+		out = append(out, l)
+	}
+	return out
+}
+
+// Spills reports whether a model's activations exceed the on-chip
+// buffering so the simulator must stream them through DRAM. The paper
+// sizes the 1.25 MB of on-chip buffers so that every network except
+// VGGNet fits (Section VI-A).
+func Spills(m *models.Model) bool { return m.Name == "vggnet" }

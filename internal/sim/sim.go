@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LayerLoad is the workload one layer presents to an accelerator: window
+// geometry plus the per-window MAC counts the SnaPEA engine traced. A nil
+// Ops slice means dense execution (every window runs KernelSize MACs) —
+// that is what the EYERISS baseline, and any layer without early
+// activation, executes.
+type LayerLoad struct {
+	Name       string
+	KernelSize int
+	OutC       int
+	OutH, OutW int
+	Batch      int
+	// Ops holds per-window MAC counts in (n, k, oy, ox) order; nil for
+	// dense layers. TotalOps must equal the sum of Ops (or
+	// windows×KernelSize when dense).
+	Ops      []int32
+	TotalOps int64
+	// InputElems / WeightElems size the memory traffic (totals for the
+	// whole batch; weights count once).
+	InputElems  int64
+	WeightElems int64
+	// SpillToDRAM marks layers whose activations do not fit on chip
+	// (VGGNet; Section VI-A) so inputs and outputs stream through DRAM.
+	SpillToDRAM bool
+	// FC marks fully-connected layers, which run dense on both machines
+	// (the paper executes them on the same PEs; ≈1% of compute).
+	FC bool
+}
+
+// Windows returns the number of convolution windows (= output elements).
+func (l *LayerLoad) Windows() int64 {
+	return int64(l.Batch) * int64(l.OutC) * int64(l.OutH) * int64(l.OutW)
+}
+
+// DenseOps returns the MAC count of an unaltered execution.
+func (l *LayerLoad) DenseOps() int64 { return l.Windows() * int64(l.KernelSize) }
+
+// EnergyBreakdown splits a layer's or run's energy by component.
+type EnergyBreakdown struct {
+	MACPJ     float64
+	RFPJ      float64
+	InterPEPJ float64
+	BufferPJ  float64
+	DRAMPJ    float64
+}
+
+// Total sums the components.
+func (e EnergyBreakdown) Total() float64 {
+	return e.MACPJ + e.RFPJ + e.InterPEPJ + e.BufferPJ + e.DRAMPJ
+}
+
+func (e *EnergyBreakdown) add(o EnergyBreakdown) {
+	e.MACPJ += o.MACPJ
+	e.RFPJ += o.RFPJ
+	e.InterPEPJ += o.InterPEPJ
+	e.BufferPJ += o.BufferPJ
+	e.DRAMPJ += o.DRAMPJ
+}
+
+// LayerResult is the simulation outcome for one layer.
+type LayerResult struct {
+	Name          string
+	MACs          int64
+	ComputeCycles int64
+	MemCycles     int64
+	Cycles        int64 // max(compute, mem): double-buffered overlap
+	// Utilization is executed MACs / (cycles × peak MACs).
+	Utilization float64
+	Energy      EnergyBreakdown
+}
+
+// Result is the simulation outcome for a full network.
+type Result struct {
+	Config Config
+	Layers []LayerResult
+	Cycles int64
+	MACs   int64
+	Energy EnergyBreakdown
+}
+
+// EnergyPJ returns the total energy in picojoules.
+func (r *Result) EnergyPJ() float64 { return r.Energy.Total() }
+
+// TimeMS returns wall-clock milliseconds at the configured frequency.
+func (r *Result) TimeMS() float64 {
+	return float64(r.Cycles) / (float64(r.Config.FrequencyMHz) * 1e3)
+}
+
+// Simulate runs the cycle model over all layers.
+func Simulate(cfg Config, loads []*LayerLoad) *Result {
+	res := &Result{Config: cfg}
+	for _, l := range loads {
+		lr := simulateLayer(cfg, l)
+		res.Layers = append(res.Layers, lr)
+		res.Cycles += lr.Cycles
+		res.MACs += lr.MACs
+		res.Energy.add(lr.Energy)
+	}
+	return res
+}
+
+// Speedup returns base.Cycles / r.Cycles.
+func (r *Result) Speedup(base *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// EnergyReduction returns base energy / r energy.
+func (r *Result) EnergyReduction(base *Result) float64 {
+	if e := r.EnergyPJ(); e > 0 {
+		return base.EnergyPJ() / e
+	}
+	return 0
+}
+
+// simulateLayer models one layer.
+//
+// Compute model (Section V): kernels are partitioned across the PERows
+// vertical groups and output windows across the PECols horizontal
+// groups. Inside a PE, LanesPerPE adjacent windows form a lane group
+// sharing the per-cycle weight/index broadcast, so a group occupies the
+// PE for max(window op counts) broadcast steps; each step takes
+// ⌈lanes/banks⌉ cycles of input-buffer port time. The array synchronizes
+// every SyncGroups lane groups when the next input portion is delivered;
+// PEs that finish their groups early idle until the slowest PE of the
+// round (the cost Figure 12 probes).
+func simulateLayer(cfg Config, l *LayerLoad) LayerResult {
+	lr := LayerResult{Name: l.Name}
+	serial := (cfg.LanesPerPE + cfg.InputBanks - 1) / cfg.InputBanks
+	lanes := cfg.LanesPerPE
+	rows, cols := cfg.PERows, cfg.PECols
+	spatial := l.OutH * l.OutW
+
+	lr.MACs = l.TotalOps
+	if l.Ops == nil {
+		lr.MACs = l.DenseOps()
+	}
+
+	if l.FC || spatial == 1 {
+		// Fully-connected layers have a single output position per
+		// neuron, so the spatial window partition cannot feed the
+		// array. Both machines stream FC kernels across all MAC units
+		// at full utilization (the paper runs FCs on the same PEs and
+		// reports they are ≈1% of compute with virtually no runtime
+		// impact).
+		lr.ComputeCycles = (l.DenseOps() + int64(cfg.MACs()) - 1) / int64(cfg.MACs())
+		return finishLayer(cfg, l, lr)
+	}
+
+	// Section V, "Organization of PEs": kernels are partitioned across
+	// the PERows vertical groups and the input across the PECols
+	// horizontal groups. Work proceeds in rounds; in each round every
+	// column receives one input portion (lanes × SyncGroups adjacent
+	// windows) and each PE runs all of its kernels over that portion.
+	// Inside a PE the portion's windows are dealt round-robin over the
+	// lanes; a lane whose window terminates early starts its next
+	// window immediately ("once the early activation is triggered, the
+	// PE is free to perform the computations of another convolution
+	// window" — Section II-B), so a kernel-portion costs max-over-lanes
+	// of the summed op counts, times the input-bank serialization
+	// factor. The array synchronizes at every round boundary, so each
+	// round costs the slowest PE's busy time — the early-termination
+	// imbalance SnaPEA pays for (Figure 12).
+	portionW := lanes * cfg.SyncGroups
+	laneBusy := make([]float64, lanes)
+
+	// Kernel-to-row assignment. Weights are preloaded into each PE's
+	// weight buffer offline, so the SnaPEA software is free to choose
+	// which kernels share a PE; snake-assigning kernels by their traced
+	// op totals balances the rows against early-termination imbalance
+	// (dense layers are uniform, so the baseline is unaffected).
+	rowKernels := make([][]int, rows)
+	{
+		kernels := make([]int, l.OutC)
+		opsOf := make([]int64, l.OutC)
+		for k := 0; k < l.OutC; k++ {
+			kernels[k] = k
+			if l.Ops == nil {
+				opsOf[k] = int64(l.Batch) * int64(spatial) * int64(l.KernelSize)
+			} else {
+				for n := 0; n < l.Batch; n++ {
+					base := (n*l.OutC + k) * spatial
+					for i := 0; i < spatial; i++ {
+						opsOf[k] += int64(l.Ops[base+i])
+					}
+				}
+			}
+		}
+		sort.Slice(kernels, func(a, b int) bool { return opsOf[kernels[a]] > opsOf[kernels[b]] })
+		for i, k := range kernels {
+			pos := i % (2 * rows)
+			r := pos
+			if pos >= rows {
+				r = 2*rows - 1 - pos
+			}
+			rowKernels[r] = append(rowKernels[r], k)
+		}
+	}
+
+	// chunks enumerates (image, window range) input portions.
+	type chunk struct{ n, w0, w1 int }
+	var chunks []chunk
+	for n := 0; n < l.Batch; n++ {
+		for w := 0; w < spatial; w += portionW {
+			end := w + portionW
+			if end > spatial {
+				end = spatial
+			}
+			chunks = append(chunks, chunk{n, w, end})
+		}
+	}
+
+	kernelPortion := func(k int, ch chunk) float64 {
+		base := (ch.n*l.OutC + k) * spatial
+		for i := range laneBusy {
+			laneBusy[i] = 0
+		}
+		if l.Ops != nil {
+			for i := ch.w0; i < ch.w1; i++ {
+				laneBusy[(i-ch.w0)%lanes] += float64(l.Ops[base+i])
+			}
+		} else {
+			for i := ch.w0; i < ch.w1; i++ {
+				laneBusy[(i-ch.w0)%lanes] += float64(l.KernelSize)
+			}
+		}
+		var t float64
+		for _, b := range laneBusy {
+			if b > t {
+				t = b
+			}
+		}
+		return t * float64(serial)
+	}
+
+	// Each column (horizontal group) streams its own chunk sequence;
+	// the on-chip buffer delivers a column's next portion as soon as
+	// all PEs *in that group* finish ("Once the computations for all
+	// the PEs within the same horizontal group end, the on-chip buffer
+	// delivers the next portion of input data"), so columns do not
+	// barrier against each other. A chunk costs the slowest row's PE
+	// time; the layer costs the slowest column.
+	colTime := make([]float64, cols)
+	for ci, ch := range chunks {
+		var chunkMax float64
+		for r := 0; r < rows; r++ {
+			var peTime float64
+			for _, k := range rowKernels[r] {
+				peTime += kernelPortion(k, ch)
+			}
+			if peTime > chunkMax {
+				chunkMax = peTime
+			}
+		}
+		colTime[ci%cols] += chunkMax
+	}
+	var compute float64
+	for _, t := range colTime {
+		if t > compute {
+			compute = t
+		}
+	}
+	lr.ComputeCycles = int64(compute)
+	return finishLayer(cfg, l, lr)
+}
+
+// finishLayer applies the memory-overlap model and energy accounting.
+// The layer is bound by whichever of compute and DRAM streaming is
+// slower (double buffering overlaps them).
+func finishLayer(cfg Config, l *LayerLoad, lr LayerResult) LayerResult {
+	bytesPer := int64(cfg.BitsPerValue / 8)
+	outElems := l.Windows()
+	weightBytes := l.WeightElems * bytesPer
+	indexBytes := int64(0)
+	if cfg.Predictive && !l.FC {
+		indexBytes = l.WeightElems * bytesPer // one 16-bit index per weight
+	}
+	dramBytes := weightBytes + indexBytes
+	if l.SpillToDRAM {
+		dramBytes += (l.InputElems + outElems) * bytesPer
+	}
+	lr.MemCycles = int64(float64(dramBytes) / cfg.DRAMBytesPerCycle)
+	lr.Cycles = lr.ComputeCycles
+	if lr.MemCycles > lr.Cycles {
+		lr.Cycles = lr.MemCycles
+	}
+	if lr.Cycles > 0 {
+		lr.Utilization = float64(lr.MACs) / (float64(lr.Cycles) * float64(cfg.MACs()))
+	}
+	lr.Energy = layerEnergy(cfg, l, lr.MACs, dramBytes)
+	return lr
+}
+
+// layerEnergy charges the Table III costs per event:
+//
+//   - every executed MAC: PE energy plus two register-file accesses
+//     (input register read, accumulator update);
+//   - weight and index broadcasts: one buffer read per broadcast step,
+//     amortized over the lanes sharing it;
+//   - input delivery: one global-buffer read and one inter-PE broadcast
+//     per input element, one global-buffer write per output element;
+//   - DRAM: every off-chip byte at DDR4 cost.
+//
+// Early-terminated MACs skip their PE, register and broadcast energy —
+// the PAU data-gates the lane (Section V) — which is why energy savings
+// track, but trail, the speedup.
+func layerEnergy(cfg Config, l *LayerLoad, macs, dramBytes int64) EnergyBreakdown {
+	bits := float64(cfg.BitsPerValue)
+	fm := float64(macs)
+	var e EnergyBreakdown
+	e.MACPJ = fm * bits * EnergyPE
+	rfAccesses := 3 * fm // weight, input register, accumulator
+	if cfg.Predictive && !l.FC {
+		// Index-buffer reads happen once per broadcast step per PE and
+		// feed all lanes.
+		rfAccesses += fm / float64(cfg.LanesPerPE)
+	}
+	e.RFPJ = rfAccesses * bits * EnergyRegisterAccess
+	e.InterPEPJ = float64(l.InputElems) * bits * EnergyInterPE
+	e.BufferPJ = float64(l.InputElems+l.Windows()) * bits * EnergyGlobalBuffer
+	e.DRAMPJ = float64(dramBytes) * 8 * EnergyDRAM
+	return e
+}
+
+// String summarizes a result.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %d cycles, %.2f ms, %.3f mJ, %d MACs",
+		r.Config.Name, r.Cycles, r.TimeMS(), r.EnergyPJ()/1e9, r.MACs)
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"snapea/internal/models"
+	"snapea/internal/snapea"
+	"snapea/internal/tensor"
+)
+
+func denseLoad(k, outC, oh, ow, batch int) *LayerLoad {
+	l := &LayerLoad{
+		Name: "l", KernelSize: k, OutC: outC, OutH: oh, OutW: ow, Batch: batch,
+		InputElems:  int64(batch * oh * ow * 4),
+		WeightElems: int64(outC * k),
+	}
+	l.TotalOps = l.DenseOps()
+	return l
+}
+
+func TestConfigsMatchPaper(t *testing.T) {
+	s, e := SnaPEAConfig(), EyerissConfig()
+	if s.MACs() != 256 || e.MACs() != 256 {
+		t.Fatalf("peak MACs %d / %d, both must be 256 (Table II)", s.MACs(), e.MACs())
+	}
+	if s.FrequencyMHz != 500 || e.FrequencyMHz != 500 {
+		t.Fatal("both accelerators run at 500 MHz")
+	}
+	sa, ea := TotalArea()
+	if sa <= ea {
+		t.Fatal("SnaPEA area must exceed EYERISS (PAUs and index buffers, ≈4.5%)")
+	}
+	if (sa-ea)/ea > 0.10 {
+		t.Fatalf("area overhead %.1f%% too large", 100*(sa-ea)/ea)
+	}
+}
+
+func TestAreaAndEnergyTablesComplete(t *testing.T) {
+	if len(AreaTable()) != 9 {
+		t.Fatalf("Table II rows: %d", len(AreaTable()))
+	}
+	rows := EnergyTable()
+	if len(rows) != 5 {
+		t.Fatalf("Table III rows: %d", len(rows))
+	}
+	// Relative costs must be pJ/bit normalized to the register file.
+	for _, r := range rows {
+		if math.Abs(r.Relative-r.PJPerBit/EnergyRegisterAccess) > 1e-9 {
+			t.Errorf("%s relative %.1f inconsistent with %.2f pJ/bit", r.Operation, r.Relative, r.PJPerBit)
+		}
+	}
+}
+
+func TestDenseCyclesNearPeak(t *testing.T) {
+	// A big dense layer on the 256-MAC baseline must approach
+	// totalMACs/256 cycles (full utilization).
+	l := denseLoad(128, 64, 32, 32, 1)
+	res := Simulate(EyerissConfig(), []*LayerLoad{l})
+	ideal := float64(l.DenseOps()) / 256
+	if got := float64(res.Cycles); got < ideal || got > ideal*1.1 {
+		t.Fatalf("dense cycles %.0f, ideal %.0f", got, ideal)
+	}
+	if res.Layers[0].Utilization < 0.9 {
+		t.Fatalf("utilization %.2f", res.Layers[0].Utilization)
+	}
+}
+
+func TestEarlyTerminationSpeedsUp(t *testing.T) {
+	// Same geometry; SnaPEA ops cut in half on every window.
+	l := denseLoad(100, 64, 16, 16, 4)
+	ops := make([]int32, l.Windows())
+	for i := range ops {
+		ops[i] = 50
+	}
+	snap := &LayerLoad{
+		Name: "l", KernelSize: 100, OutC: 64, OutH: 16, OutW: 16, Batch: 4,
+		Ops: ops, TotalOps: 50 * l.Windows(),
+		InputElems: l.InputElems, WeightElems: l.WeightElems,
+	}
+	base := Simulate(EyerissConfig(), []*LayerLoad{l})
+	fast := Simulate(SnaPEAConfig(), []*LayerLoad{snap})
+	sp := fast.Speedup(base)
+	if sp < 1.8 || sp > 2.2 {
+		t.Fatalf("uniform half-ops speedup %.2f, want ≈2", sp)
+	}
+	if er := fast.EnergyReduction(base); er <= 1 {
+		t.Fatalf("energy reduction %.2f, want > 1", er)
+	}
+}
+
+func TestDivergenceCostsCycles(t *testing.T) {
+	// Uneven windows: one long window per lane group pins the group at
+	// the max, so mixed {10,100} ops must cost more than uniform 55.
+	mk := func(a, b int32) *Result {
+		l := denseLoad(100, 16, 16, 16, 1)
+		ops := make([]int32, l.Windows())
+		var tot int64
+		for i := range ops {
+			if i%2 == 0 {
+				ops[i] = a
+			} else {
+				ops[i] = b
+			}
+			tot += int64(ops[i])
+		}
+		load := &LayerLoad{Name: "l", KernelSize: 100, OutC: 16, OutH: 16, OutW: 16, Batch: 1,
+			Ops: ops, TotalOps: tot, InputElems: l.InputElems, WeightElems: l.WeightElems}
+		return Simulate(SnaPEAConfig(), []*LayerLoad{load})
+	}
+	uneven := mk(10, 100)
+	uniform := mk(55, 55)
+	if uneven.Cycles <= uniform.Cycles {
+		t.Fatalf("divergent windows %d cycles <= uniform %d", uneven.Cycles, uniform.Cycles)
+	}
+	if uneven.MACs != uniform.MACs {
+		t.Fatal("test setup: MACs must match")
+	}
+}
+
+func TestLaneSweepPeaksAtDefault(t *testing.T) {
+	// Figure 12's shape: with divergent op counts, both halving and
+	// multiplying the lanes must not beat the default design point.
+	l := denseLoad(128, 64, 32, 32, 4)
+	ops := make([]int32, l.Windows())
+	rng := tensor.NewRNG(4)
+	var tot int64
+	for i := range ops {
+		ops[i] = int32(10 + rng.Intn(118))
+		tot += int64(ops[i])
+	}
+	load := &LayerLoad{Name: "l", KernelSize: 128, OutC: 64, OutH: 32, OutW: 32, Batch: 4,
+		Ops: ops, TotalOps: tot, InputElems: l.InputElems, WeightElems: l.WeightElems}
+	cycles := map[float64]int64{}
+	for _, f := range []float64{0.5, 1, 2, 4} {
+		cycles[f] = Simulate(SnaPEAConfig().WithLanes(f), []*LayerLoad{load}).Cycles
+	}
+	if cycles[1] >= cycles[0.5] {
+		t.Fatalf("default %d not faster than half lanes %d", cycles[1], cycles[0.5])
+	}
+	if cycles[1] >= cycles[2] || cycles[1] >= cycles[4] {
+		t.Fatalf("default %d not faster than 2x %d / 4x %d (bank serialization)", cycles[1], cycles[2], cycles[4])
+	}
+}
+
+func TestSpillBindsOnDRAM(t *testing.T) {
+	l := denseLoad(16, 8, 8, 8, 1)
+	l.InputElems = 1 << 22 // huge activation
+	l.SpillToDRAM = true
+	res := Simulate(EyerissConfig(), []*LayerLoad{l})
+	if res.Layers[0].Cycles != res.Layers[0].MemCycles {
+		t.Fatal("spilled layer must be memory bound")
+	}
+	if res.Layers[0].Energy.DRAMPJ <= res.Layers[0].Energy.MACPJ {
+		t.Fatal("spilled layer DRAM energy must dominate")
+	}
+}
+
+func TestIndexBufferCostsOnlySnaPEA(t *testing.T) {
+	l := denseLoad(64, 16, 8, 8, 1)
+	s := Simulate(SnaPEAConfig(), []*LayerLoad{l})
+	e := Simulate(EyerissConfig(), []*LayerLoad{l})
+	// With identical (dense) work, SnaPEA pays extra DRAM for indices.
+	if s.Energy.DRAMPJ <= e.Energy.DRAMPJ {
+		t.Fatal("SnaPEA must pay index-transfer energy")
+	}
+}
+
+func TestLoadsFromTraceRoundTrip(t *testing.T) {
+	m, err := models.Build("tinynet", models.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := tensor.New(m.InputShape)
+	tensor.FillUniform(img, tensor.NewRNG(5), 0, 1)
+	net := snapea.CompileExact(m)
+	trace := snapea.NewNetTrace()
+	net.Forward(img, snapea.RunOpts{CollectWindows: true}, trace)
+
+	loads := LoadsFromTrace(m, trace, false)
+	dense := LoadsDense(m, 1, false)
+	if len(loads) != len(dense) {
+		t.Fatalf("load count %d vs dense %d", len(loads), len(dense))
+	}
+	// 3 convs + 1 FC head.
+	if len(loads) != 4 {
+		t.Fatalf("tinynet loads: %d", len(loads))
+	}
+	var convOps, denseOps int64
+	for i, l := range loads {
+		if l.FC {
+			continue
+		}
+		if int64(len(l.Ops)) != l.Windows() {
+			t.Fatalf("%s: ops len %d windows %d", l.Name, len(l.Ops), l.Windows())
+		}
+		convOps += l.TotalOps
+		denseOps += dense[i].TotalOps
+		if l.KernelSize != dense[i].KernelSize || l.OutC != dense[i].OutC {
+			t.Fatalf("%s geometry mismatch", l.Name)
+		}
+	}
+	if convOps >= denseOps {
+		t.Fatalf("traced ops %d not below dense %d", convOps, denseOps)
+	}
+
+	sSnap := Simulate(SnaPEAConfig(), loads)
+	sBase := Simulate(EyerissConfig(), dense)
+	if sp := sSnap.Speedup(sBase); sp <= 1 {
+		t.Fatalf("end-to-end exact-mode speedup %.3f <= 1", sp)
+	}
+}
+
+func TestSpillsOnlyVGG(t *testing.T) {
+	for _, name := range models.Evaluated() {
+		m, _ := models.Build(name, models.Options{SkipInit: true})
+		want := name == "vggnet"
+		if Spills(m) != want {
+			t.Errorf("%s spills=%v", name, Spills(m))
+		}
+	}
+}
+
+func TestSimulateEmptyAndTotals(t *testing.T) {
+	res := Simulate(SnaPEAConfig(), nil)
+	if res.Cycles != 0 || res.EnergyPJ() != 0 {
+		t.Fatal("empty simulation must be zero")
+	}
+	a := denseLoad(10, 4, 4, 4, 1)
+	b := denseLoad(20, 4, 4, 4, 1)
+	res = Simulate(SnaPEAConfig(), []*LayerLoad{a, b})
+	if res.Cycles != res.Layers[0].Cycles+res.Layers[1].Cycles {
+		t.Fatal("cycles must sum across layers")
+	}
+	if math.Abs(res.EnergyPJ()-(res.Layers[0].Energy.Total()+res.Layers[1].Energy.Total())) > 1e-6 {
+		t.Fatal("energy must sum across layers")
+	}
+}

@@ -1,0 +1,341 @@
+package snapea
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"snapea/internal/nn"
+	"snapea/internal/tensor"
+)
+
+// RunOpts selects what the engine records beyond the layer output.
+type RunOpts struct {
+	// CollectWindows stores the per-window MAC count (Eq. 1's Op value)
+	// in the trace, which the cycle-level simulator consumes.
+	CollectWindows bool
+	// CollectPrediction additionally computes each window's true
+	// convolution sign to account true/false negatives (Table V). This
+	// costs the full dense MAC count for speculated windows.
+	CollectPrediction bool
+}
+
+// LayerTrace aggregates what happened while executing one convolution
+// layer on one input.
+type LayerTrace struct {
+	Node       string
+	KernelSize int
+	Batch      int
+	OutC       int
+	OutH, OutW int
+	// Ops is the per-window MAC count in (n, k, oy, ox) order when
+	// RunOpts.CollectWindows is set; nil otherwise.
+	Ops []int32
+	// TotalOps is the MACs actually executed; DenseOps is what an
+	// unaltered convolution would execute (windows × kernel size).
+	TotalOps int64
+	DenseOps int64
+	Windows  int64
+	// SpecZero / SignZero count windows terminated early by the
+	// predictive threshold check and by the exact sign check.
+	SpecZero int64
+	SignZero int64
+	// Prediction accounting (RunOpts.CollectPrediction): TruthNeg is
+	// the number of windows whose true convolution output is negative;
+	// SpecTN / SpecFN split the speculated windows by whether the truth
+	// was negative.
+	TruthNeg int64
+	SpecTN   int64
+	SpecFN   int64
+	// InputElems / WeightElems size the layer's memory traffic for the
+	// cycle-level simulator (per whole trace and per layer).
+	InputElems  int64
+	WeightElems int64
+}
+
+// Reduction returns 1 - TotalOps/DenseOps, the fraction of MACs removed.
+func (t *LayerTrace) Reduction() float64 {
+	if t.DenseOps == 0 {
+		return 0
+	}
+	return 1 - float64(t.TotalOps)/float64(t.DenseOps)
+}
+
+// compiledKernel is a ReorderedKernel specialized to a layer geometry:
+// each position carries the input-plane offset used on the interior fast
+// path and the (ci, ky, kx) coordinates for padded border windows.
+type compiledKernel struct {
+	w          []float32
+	offs       []int32
+	ci, ky, kx []int32
+	numSpec    int
+	posEnd     int
+	th         float32
+	bias       float32
+	cBase      int32 // first input channel of this kernel's group
+}
+
+// LayerPlan is a convolution layer compiled for SnaPEA execution at a
+// fixed input geometry.
+type LayerPlan struct {
+	Node     string
+	Conv     *nn.Conv2D
+	Params   LayerParams
+	NegOrder NegOrder
+
+	inShape tensor.Shape // single-image input shape (N ignored)
+	outC    int
+	outH    int
+	outW    int
+	kernels []compiledKernel
+}
+
+// NewLayerPlan reorders and compiles every kernel of conv for inputs of
+// the given shape. params may be nil (all kernels exact) or must have
+// one entry per output channel.
+func NewLayerPlan(node string, conv *nn.Conv2D, inShape tensor.Shape, params LayerParams, negOrder NegOrder) *LayerPlan {
+	if params == nil {
+		params = AllExact(conv.OutC)
+	}
+	if len(params) != conv.OutC {
+		panic(fmt.Sprintf("snapea: %s: %d params for %d kernels", node, len(params), conv.OutC))
+	}
+	os := conv.OutShape([]tensor.Shape{{N: 1, C: inShape.C, H: inShape.H, W: inShape.W}})
+	p := &LayerPlan{
+		Node: node, Conv: conv, Params: params, NegOrder: negOrder,
+		inShape: inShape, outC: conv.OutC, outH: os.H, outW: os.W,
+		kernels: make([]compiledKernel, conv.OutC),
+	}
+	inCg := conv.InC / conv.Groups
+	outCg := conv.OutC / conv.Groups
+	plane := int32(inShape.H * inShape.W)
+	for k := 0; k < conv.OutC; k++ {
+		rk := Reorder(conv.Kernel(k), params[k], negOrder)
+		ck := compiledKernel{
+			w:       rk.Weights,
+			offs:    make([]int32, len(rk.Weights)),
+			ci:      make([]int32, len(rk.Weights)),
+			ky:      make([]int32, len(rk.Weights)),
+			kx:      make([]int32, len(rk.Weights)),
+			numSpec: rk.NumSpec,
+			posEnd:  rk.PosEnd,
+			th:      rk.Th,
+			bias:    conv.Bias[k],
+			cBase:   int32((k / outCg) * inCg),
+		}
+		for i, orig := range rk.Index {
+			ci := orig / int32(conv.KH*conv.KW)
+			rem := orig % int32(conv.KH*conv.KW)
+			ky := rem / int32(conv.KW)
+			kx := rem % int32(conv.KW)
+			ck.ci[i], ck.ky[i], ck.kx[i] = ci, ky, kx
+			ck.offs[i] = ci*plane + ky*int32(inShape.W) + kx
+		}
+		p.kernels[k] = ck
+	}
+	return p
+}
+
+// OutShape returns the output shape for a batch of the given size.
+func (p *LayerPlan) OutShape(batch int) tensor.Shape {
+	return tensor.Shape{N: batch, C: p.outC, H: p.outH, W: p.outW}
+}
+
+// Run executes the layer with early activation and returns the output
+// (identical to conv+ReLU for exact kernels) and the trace.
+func (p *LayerPlan) Run(in *tensor.Tensor, opts RunOpts) (*tensor.Tensor, *LayerTrace) {
+	s := in.Shape()
+	if s.C != p.inShape.C || s.H != p.inShape.H || s.W != p.inShape.W {
+		panic(fmt.Sprintf("snapea: %s compiled for %v, got %v", p.Node, p.inShape, s))
+	}
+	os := p.OutShape(s.N)
+	out := tensor.New(os)
+	tr := &LayerTrace{
+		Node:       p.Node,
+		KernelSize: p.Conv.KernelSize(),
+		Batch:      s.N,
+		OutC:       p.outC,
+		OutH:       p.outH,
+		OutW:       p.outW,
+	}
+	winPerImg := p.outC * p.outH * p.outW
+	tr.Windows = int64(s.N * winPerImg)
+	tr.DenseOps = tr.Windows * int64(tr.KernelSize)
+	tr.InputElems = int64(s.N) * int64(s.C*s.H*s.W)
+	tr.WeightElems = int64(p.outC) * int64(tr.KernelSize)
+	if opts.CollectWindows {
+		tr.Ops = make([]int32, tr.Windows)
+	}
+
+	// Kernels write disjoint output planes and private stats, so they
+	// parallelize cleanly and deterministically.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.outC {
+		workers = p.outC
+	}
+	stats := make([]LayerTrace, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			st := &stats[wi]
+			for k := wi; k < p.outC; k += workers {
+				for n := 0; n < s.N; n++ {
+					p.runKernel(n, k, in, out, tr, st, opts)
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for i := range stats {
+		tr.TotalOps += stats[i].TotalOps
+		tr.SpecZero += stats[i].SpecZero
+		tr.SignZero += stats[i].SignZero
+		tr.TruthNeg += stats[i].TruthNeg
+		tr.SpecTN += stats[i].SpecTN
+		tr.SpecFN += stats[i].SpecFN
+	}
+	return out, tr
+}
+
+// runKernel computes all windows of output channel k for batch element n.
+func (p *LayerPlan) runKernel(n, k int, in, out *tensor.Tensor, tr, st *LayerTrace, opts RunOpts) {
+	ck := &p.kernels[k]
+	conv := p.Conv
+	s := in.Shape()
+	ind := in.Data()
+	outd := out.Data()
+	inBase := (n*s.C + int(ck.cBase)) * s.H * s.W
+	kh, kw := conv.KH, conv.KW
+	outRow := ((n*p.outC+k)*p.outH)*p.outW - 0
+	for oy := 0; oy < p.outH; oy++ {
+		iy0 := oy*conv.StrideH - conv.PadH
+		for ox := 0; ox < p.outW; ox++ {
+			ix0 := ox*conv.StrideW - conv.PadW
+			interior := iy0 >= 0 && ix0 >= 0 && iy0+kh <= s.H && ix0+kw <= s.W
+			var val float32
+			var ops int32
+			if interior {
+				val, ops = p.window(ck, ind, inBase+iy0*s.W+ix0, st, opts)
+			} else {
+				val, ops = p.windowBorder(ck, ind, inBase, iy0, ix0, s.H, s.W, st, opts)
+			}
+			idx := outRow + oy*p.outW + ox
+			outd[idx] = val
+			st.TotalOps += int64(ops)
+			if tr.Ops != nil {
+				tr.Ops[idx] = ops
+			}
+		}
+	}
+}
+
+// window executes one interior convolution window with early activation.
+// base is the input index of the window's top-left element in the
+// kernel's channel group.
+func (p *LayerPlan) window(ck *compiledKernel, ind []float32, base int, st *LayerTrace, opts RunOpts) (float32, int32) {
+	acc := ck.bias
+	w, offs := ck.w, ck.offs
+	i := 0
+	// Speculation prefix.
+	for ; i < ck.numSpec; i++ {
+		acc += w[i] * ind[base+int(offs[i])]
+	}
+	if ck.numSpec > 0 && acc <= ck.th {
+		st.SpecZero++
+		if opts.CollectPrediction {
+			full := acc
+			for j := i; j < len(w); j++ {
+				full += w[j] * ind[base+int(offs[j])]
+			}
+			if full < 0 {
+				st.TruthNeg++
+				st.SpecTN++
+			} else {
+				st.SpecFN++
+			}
+		}
+		return 0, int32(ck.numSpec)
+	}
+	// Positive region: the sum only grows; no checks needed.
+	for ; i < ck.posEnd; i++ {
+		acc += w[i] * ind[base+int(offs[i])]
+	}
+	// Negative region: the sum only shrinks; first sign flip is final.
+	for ; i < len(w); i++ {
+		acc += w[i] * ind[base+int(offs[i])]
+		if acc < 0 {
+			i++
+			st.SignZero++
+			if opts.CollectPrediction {
+				st.TruthNeg++
+			}
+			return 0, int32(i)
+		}
+	}
+	if opts.CollectPrediction && acc < 0 {
+		st.TruthNeg++
+	}
+	if acc < 0 {
+		return 0, int32(i)
+	}
+	return acc, int32(i)
+}
+
+// windowBorder is the padded-window path: out-of-bounds taps read zero
+// (the hardware streams explicit zero padding through the MACs, so they
+// still count as operations).
+func (p *LayerPlan) windowBorder(ck *compiledKernel, ind []float32, inBase, iy0, ix0, inH, inW int, st *LayerTrace, opts RunOpts) (float32, int32) {
+	fetch := func(i int) float32 {
+		iy := iy0 + int(ck.ky[i])
+		ix := ix0 + int(ck.kx[i])
+		if iy < 0 || iy >= inH || ix < 0 || ix >= inW {
+			return 0
+		}
+		return ind[inBase+int(ck.ci[i])*inH*inW+iy*inW+ix]
+	}
+	acc := ck.bias
+	w := ck.w
+	i := 0
+	for ; i < ck.numSpec; i++ {
+		acc += w[i] * fetch(i)
+	}
+	if ck.numSpec > 0 && acc <= ck.th {
+		st.SpecZero++
+		if opts.CollectPrediction {
+			full := acc
+			for j := i; j < len(w); j++ {
+				full += w[j] * fetch(j)
+			}
+			if full < 0 {
+				st.TruthNeg++
+				st.SpecTN++
+			} else {
+				st.SpecFN++
+			}
+		}
+		return 0, int32(ck.numSpec)
+	}
+	for ; i < ck.posEnd; i++ {
+		acc += w[i] * fetch(i)
+	}
+	for ; i < len(w); i++ {
+		acc += w[i] * fetch(i)
+		if acc < 0 {
+			i++
+			st.SignZero++
+			if opts.CollectPrediction {
+				st.TruthNeg++
+			}
+			return 0, int32(i)
+		}
+	}
+	if acc < 0 {
+		if opts.CollectPrediction {
+			st.TruthNeg++
+		}
+		return 0, int32(i)
+	}
+	return acc, int32(i)
+}

@@ -1,0 +1,116 @@
+package snapea
+
+import (
+	"fmt"
+
+	"snapea/internal/nn"
+	"snapea/internal/tensor"
+)
+
+// FCPlan applies SnaPEA's exact early termination to a ReLU-fused
+// fully-connected layer. The paper runs FC layers on the same PEs but
+// leaves them dense; the identical algebra applies, though — an FC
+// neuron is a 1×1 convolution window over non-negative inputs — so this
+// is implemented as the natural extension (and the AblationFC bench
+// quantifies what the paper left on the table; FC layers are ≈1% of CNN
+// MACs, so the paper's choice costs little).
+type FCPlan struct {
+	Node     string
+	FC       *nn.FC
+	NegOrder NegOrder
+	kernels  []ReorderedKernel
+}
+
+// NewFCPlan reorders every output neuron's weights sign-first. The FC
+// must have a fused ReLU: without it a negative partial sum proves
+// nothing about the output that downstream layers will see.
+func NewFCPlan(node string, fc *nn.FC, negOrder NegOrder) *FCPlan {
+	if !fc.ReLU {
+		panic(fmt.Sprintf("snapea: FC plan for %q requires a fused ReLU", node))
+	}
+	p := &FCPlan{Node: node, FC: fc, NegOrder: negOrder, kernels: make([]ReorderedKernel, fc.Out)}
+	w := fc.Weights.Data()
+	for o := 0; o < fc.Out; o++ {
+		p.kernels[o] = Reorder(w[o*fc.In:(o+1)*fc.In], Exact, negOrder)
+	}
+	return p
+}
+
+// Run executes the layer with early termination. The output is
+// bit-identical to FC.Forward for non-negative inputs.
+func (p *FCPlan) Run(in *tensor.Tensor, opts RunOpts) (*tensor.Tensor, *LayerTrace) {
+	s := in.Shape()
+	per := s.C * s.H * s.W
+	if per != p.FC.In {
+		panic(fmt.Sprintf("snapea: FC plan %q expects %d inputs, got %v", p.Node, p.FC.In, s))
+	}
+	out := tensor.New(tensor.Shape{N: s.N, C: p.FC.Out, H: 1, W: 1})
+	tr := &LayerTrace{
+		Node:        p.Node,
+		KernelSize:  p.FC.In,
+		Batch:       s.N,
+		OutC:        p.FC.Out,
+		OutH:        1,
+		OutW:        1,
+		Windows:     int64(s.N) * int64(p.FC.Out),
+		InputElems:  int64(s.N) * int64(per),
+		WeightElems: int64(p.FC.Out) * int64(p.FC.In),
+	}
+	tr.DenseOps = tr.Windows * int64(tr.KernelSize)
+	if opts.CollectWindows {
+		tr.Ops = make([]int32, tr.Windows)
+	}
+	ind := in.Data()
+	outd := out.Data()
+	for n := 0; n < s.N; n++ {
+		x := ind[n*per : (n+1)*per]
+		for o := 0; o < p.FC.Out; o++ {
+			rk := &p.kernels[o]
+			acc := p.FC.Bias[o]
+			i := 0
+			for ; i < rk.PosEnd; i++ {
+				acc += rk.Weights[i] * x[rk.Index[i]]
+			}
+			for ; i < len(rk.Weights); i++ {
+				acc += rk.Weights[i] * x[rk.Index[i]]
+				if acc < 0 {
+					i++
+					tr.SignZero++
+					acc = 0
+					break
+				}
+			}
+			if acc < 0 {
+				acc = 0
+			}
+			widx := n*p.FC.Out + o
+			outd[widx] = acc
+			tr.TotalOps += int64(i)
+			if tr.Ops != nil {
+				tr.Ops[widx] = int32(i)
+			}
+			if opts.CollectPrediction && acc == 0 {
+				tr.TruthNeg++
+			}
+		}
+	}
+	return out, tr
+}
+
+// EnableFC extends a compiled network with exact early termination for
+// every ReLU-fused fully-connected layer (the classifier head has no
+// ReLU and stays dense). Traces from these layers appear under their
+// node names like convolution traces.
+func (net *Network) EnableFC() {
+	if net.FCPlans != nil {
+		return
+	}
+	net.FCPlans = make(map[string]*FCPlan)
+	for _, n := range net.Model.Graph.Nodes() {
+		fc, ok := n.Layer.(*nn.FC)
+		if !ok || !fc.ReLU {
+			continue
+		}
+		net.FCPlans[n.Name] = NewFCPlan(n.Name, fc, net.NegOrder)
+	}
+}

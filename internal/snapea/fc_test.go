@@ -1,0 +1,197 @@
+package snapea
+
+import (
+	"testing"
+
+	"snapea/internal/nn"
+	"snapea/internal/tensor"
+)
+
+func randFC(in, out int, relu bool, seed uint64) *nn.FC {
+	f := nn.NewFC(in, out, relu)
+	rng := tensor.NewRNG(seed)
+	tensor.FillNorm(f.Weights, rng, 0, 0.4)
+	for i := range f.Bias {
+		f.Bias[i] = float32(rng.Norm() * 0.2)
+	}
+	return f
+}
+
+// TestFCPlanMatchesDense: FC early termination must be bit-identical to
+// the dense FC+ReLU on non-negative inputs while saving MACs.
+func TestFCPlanMatchesDense(t *testing.T) {
+	fc := randFC(64, 32, true, 7)
+	in := nonNegInput(tensor.Shape{N: 3, C: 64, H: 1, W: 1}, 8)
+	want := fc.Forward([]*tensor.Tensor{in})
+	plan := NewFCPlan("fc", fc, NegByMagnitude)
+	got, tr := plan.Run(in, RunOpts{CollectWindows: true})
+	if d := got.AbsDiffMax(want); d > 2e-4 {
+		t.Fatalf("fc early termination diverged: %g", d)
+	}
+	if tr.TotalOps >= tr.DenseOps {
+		t.Fatalf("fc plan saved nothing: %d >= %d", tr.TotalOps, tr.DenseOps)
+	}
+	var sum int64
+	for _, o := range tr.Ops {
+		sum += int64(o)
+	}
+	if sum != tr.TotalOps {
+		t.Fatalf("per-window ops inconsistent: %d vs %d", sum, tr.TotalOps)
+	}
+	if tr.Windows != 3*32 {
+		t.Fatalf("windows %d", tr.Windows)
+	}
+}
+
+func TestFCPlanRequiresReLU(t *testing.T) {
+	fc := randFC(8, 4, false, 9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-ReLU FC")
+		}
+	}()
+	NewFCPlan("fc", fc, NegByMagnitude)
+}
+
+func TestFCPlanInputSizeMismatchPanics(t *testing.T) {
+	fc := randFC(8, 4, true, 10)
+	plan := NewFCPlan("fc", fc, NegByMagnitude)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	plan.Run(nonNegInput(tensor.Shape{N: 1, C: 9, H: 1, W: 1}, 11), RunOpts{})
+}
+
+// TestEnableFCEndToEnd: a network with FC plans still produces outputs
+// identical to unaltered execution (tinynet's head has no ReLU, so only
+// networks with ReLU FCs change — build a custom graph).
+func TestEnableFCEndToEnd(t *testing.T) {
+	m := buildTestModel(t)
+	net := CompileExact(m)
+	net.EnableFC()
+	// TinyNet's classifier head has no ReLU — EnableFC must not touch it.
+	if len(net.FCPlans) != 0 {
+		t.Fatalf("tinynet has no ReLU FC, but %d plans built", len(net.FCPlans))
+	}
+	img := nonNegInput(m.InputShape, 12)
+	want := m.Graph.Forward(img)
+	got := net.Forward(img, RunOpts{}, nil)
+	if d := got.AbsDiffMax(want); d > 1e-3 {
+		t.Fatalf("diverged: %g", d)
+	}
+}
+
+// TestEnableFCWithReLUHead: AlexNet's fc6/fc7 have fused ReLUs, so
+// EnableFC must cover exactly those and keep outputs identical.
+func TestEnableFCWithReLUHead(t *testing.T) {
+	m := buildAlexNetModel(t)
+	net := CompileExact(m)
+	net.EnableFC()
+	if len(net.FCPlans) != 2 {
+		t.Fatalf("alexnet has 2 ReLU FCs, got %d plans", len(net.FCPlans))
+	}
+	img := nonNegInput(m.InputShape, 13)
+	want := m.Graph.Forward(img)
+	trace := NewNetTrace()
+	got := net.Forward(img, RunOpts{}, trace)
+	if d := got.AbsDiffMax(want); d > 5e-3 {
+		t.Fatalf("diverged: %g", d)
+	}
+	// FC layers must appear in the trace with savings.
+	fcTraced := 0
+	for node, tr := range trace.Layers {
+		if _, isConv := net.Plans[node]; isConv {
+			continue
+		}
+		fcTraced++
+		if tr.TotalOps >= tr.DenseOps {
+			t.Errorf("fc %s saved nothing", node)
+		}
+	}
+	if fcTraced != 2 {
+		t.Fatalf("traced %d fc layers", fcTraced)
+	}
+}
+
+// TestRunFixedAgreesWithFloat: the Q7.8 datapath must agree with the
+// float engine on (almost) every zero/non-zero decision and op count.
+func TestRunFixedAgreesWithFloat(t *testing.T) {
+	conv := randConv(4, 8, 3, 1, 1, 1, 71)
+	in := nonNegInput(tensor.Shape{N: 1, C: 4, H: 8, W: 8}, 72)
+	params := make(LayerParams, 8)
+	for k := range params {
+		params[k] = KernelParam{Th: -0.1, N: 4}
+	}
+	plan := NewLayerPlan("l", conv, in.Shape(), params, NegByMagnitude)
+	fo, ft := plan.Run(in, RunOpts{CollectWindows: true})
+	xo, xt := plan.RunFixed(in, RunOpts{CollectWindows: true})
+
+	if xt.Windows != ft.Windows || xt.DenseOps != ft.DenseOps {
+		t.Fatal("geometry mismatch")
+	}
+	disagree := 0
+	for i := range fo.Data() {
+		if (fo.Data()[i] == 0) != (xo.Data()[i] == 0) {
+			disagree++
+		}
+		if d := float64(fo.Data()[i] - xo.Data()[i]); d > 0.1 || d < -0.1 {
+			t.Fatalf("window %d value gap %g vs %g", i, fo.Data()[i], xo.Data()[i])
+		}
+	}
+	if frac := float64(disagree) / float64(ft.Windows); frac > 0.05 {
+		t.Fatalf("zero decisions disagree on %.1f%% of windows", 100*frac)
+	}
+	// Op counts track closely (borderline windows may terminate one
+	// step apart).
+	delta := float64(xt.TotalOps-ft.TotalOps) / float64(ft.TotalOps)
+	if delta > 0.1 || delta < -0.1 {
+		t.Fatalf("fixed-point ops off by %.1f%%", 100*delta)
+	}
+}
+
+func TestParamsFileRoundTrip(t *testing.T) {
+	res := &Result{
+		Params: map[string]LayerParams{
+			"conv1": {{Th: -0.5, N: 4}, {Th: 0, N: 0}},
+			"conv2": {{Th: 0.25, N: 8}},
+		},
+		Predictive: map[string]bool{"conv1": true},
+		BaseAcc:    0.9,
+		FinalAcc:   0.88,
+	}
+	f := res.File("tinynet", 0.03)
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseParams(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Network != "tinynet" || back.Epsilon != 0.03 {
+		t.Fatalf("provenance lost: %+v", back)
+	}
+	if len(back.Layers) != 2 || back.Layers["conv1"][0].Th != -0.5 || back.Layers["conv1"][0].N != 4 {
+		t.Fatalf("params lost: %+v", back.Layers)
+	}
+	if len(back.Predictive) != 1 || back.Predictive[0] != "conv1" {
+		t.Fatalf("predictive list lost: %v", back.Predictive)
+	}
+}
+
+func TestParseParamsRejectsGarbage(t *testing.T) {
+	if _, err := ParseParams([]byte("{")); err == nil {
+		t.Fatal("expected JSON error")
+	}
+	if _, err := ParseParams([]byte(`{"layers":{}}`)); err == nil {
+		t.Fatal("expected empty-layers error")
+	}
+	if _, err := ParseParams([]byte(`{"layers":{"a":[{"Th":0,"N":-1}]}}`)); err == nil {
+		t.Fatal("expected negative-N error")
+	}
+	if _, err := ParseParams([]byte(`{"layers":{"a":[]},"predictive_layers":["b"]}`)); err == nil {
+		t.Fatal("expected unknown-predictive error")
+	}
+}

@@ -1,0 +1,29 @@
+package snapea
+
+import (
+	"testing"
+
+	"snapea/internal/models"
+)
+
+// buildTestModel returns the TinyNet toy model used across the package's
+// integration tests.
+func buildTestModel(t *testing.T) *models.Model {
+	t.Helper()
+	m, err := models.Build("tinynet", models.Options{Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// buildAlexNetModel returns a reduced AlexNet, the smallest evaluated
+// network with ReLU-fused fully-connected layers.
+func buildAlexNetModel(t *testing.T) *models.Model {
+	t.Helper()
+	m, err := models.Build("alexnet", models.Options{Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,236 @@
+package snapea
+
+import (
+	"snapea/internal/models"
+	"snapea/internal/nn"
+	"snapea/internal/tensor"
+)
+
+// Network is a model compiled for SnaPEA execution: every ReLU-fused
+// convolution layer has a LayerPlan (exact or predictive per its
+// parameters); all other layers run unmodified.
+type Network struct {
+	Model    *models.Model
+	NegOrder NegOrder
+	// Plans maps conv node names to their compiled plans, in no
+	// particular order; PlanOrder lists the node names topologically.
+	Plans     map[string]*LayerPlan
+	PlanOrder []string
+	// FCPlans holds exact early-termination plans for ReLU-fused FC
+	// layers; nil unless EnableFC was called.
+	FCPlans map[string]*FCPlan
+}
+
+// Compile builds a Network. params maps conv node names to per-kernel
+// speculation parameters; a missing or nil entry compiles that layer in
+// exact mode. Compile panics on params for unknown nodes being absent —
+// unknown names are simply ignored so callers can reuse parameter maps
+// across scales.
+func Compile(m *models.Model, params map[string]LayerParams, negOrder NegOrder) *Network {
+	net := &Network{
+		Model:    m,
+		NegOrder: negOrder,
+		Plans:    make(map[string]*LayerPlan),
+	}
+	shapes := map[string]tensor.Shape{nn.InputName: m.InputShape}
+	for _, n := range m.Graph.Nodes() {
+		ins := make([]tensor.Shape, len(n.Inputs))
+		for i, name := range n.Inputs {
+			ins[i] = shapes[name]
+		}
+		shapes[n.Name] = n.Layer.OutShape(ins)
+		conv, ok := n.Layer.(*nn.Conv2D)
+		if !ok || !conv.ReLU {
+			continue
+		}
+		var p LayerParams
+		if params != nil {
+			p = params[n.Name]
+		}
+		net.Plans[n.Name] = NewLayerPlan(n.Name, conv, ins[0], p, negOrder)
+		net.PlanOrder = append(net.PlanOrder, n.Name)
+	}
+	return net
+}
+
+// CompileExact compiles every convolution in exact mode.
+func CompileExact(m *models.Model) *Network { return Compile(m, nil, NegByMagnitude) }
+
+// NetTrace aggregates layer traces for one or more forward passes.
+type NetTrace struct {
+	Layers map[string]*LayerTrace
+}
+
+// NewNetTrace returns an empty trace.
+func NewNetTrace() *NetTrace { return &NetTrace{Layers: make(map[string]*LayerTrace)} }
+
+// Add merges a layer trace into the aggregate.
+func (t *NetTrace) Add(tr *LayerTrace) {
+	if prev, ok := t.Layers[tr.Node]; ok {
+		prev.TotalOps += tr.TotalOps
+		prev.DenseOps += tr.DenseOps
+		prev.Windows += tr.Windows
+		prev.SpecZero += tr.SpecZero
+		prev.SignZero += tr.SignZero
+		prev.TruthNeg += tr.TruthNeg
+		prev.SpecTN += tr.SpecTN
+		prev.SpecFN += tr.SpecFN
+		prev.Batch += tr.Batch
+		prev.InputElems += tr.InputElems
+		// Weights are loaded once per layer regardless of how many
+		// images stream through, so WeightElems does not accumulate.
+		prev.Ops = append(prev.Ops, tr.Ops...)
+		return
+	}
+	cp := *tr
+	t.Layers[tr.Node] = &cp
+}
+
+// Totals returns the executed and dense MAC counts over all layers.
+func (t *NetTrace) Totals() (total, dense int64) {
+	for _, tr := range t.Layers {
+		total += tr.TotalOps
+		dense += tr.DenseOps
+	}
+	return total, dense
+}
+
+// Reduction returns the overall fraction of convolution MACs removed.
+func (t *NetTrace) Reduction() float64 {
+	total, dense := t.Totals()
+	if dense == 0 {
+		return 0
+	}
+	return 1 - float64(total)/float64(dense)
+}
+
+// Rates returns the network-wide true- and false-negative rates of the
+// predictive mechanism (Table V).
+func (t *NetTrace) Rates() (tnr, fnr float64) {
+	var truthNeg, truthPos, tn, fn int64
+	for _, tr := range t.Layers {
+		truthNeg += tr.TruthNeg
+		truthPos += tr.Windows - tr.TruthNeg
+		tn += tr.SpecTN
+		fn += tr.SpecFN
+	}
+	if truthNeg > 0 {
+		tnr = float64(tn) / float64(truthNeg)
+	}
+	if truthPos > 0 {
+		fnr = float64(fn) / float64(truthPos)
+	}
+	return tnr, fnr
+}
+
+// exec returns the per-node executor override that routes convolution
+// nodes through their plans.
+func (net *Network) exec(opts RunOpts, trace *NetTrace) nn.Exec {
+	return func(node *nn.Node, ins []*tensor.Tensor) (*tensor.Tensor, bool) {
+		if plan := net.Plans[node.Name]; plan != nil {
+			out, tr := plan.Run(ins[0], opts)
+			if trace != nil {
+				trace.Add(tr)
+			}
+			return out, true
+		}
+		if fp := net.FCPlans[node.Name]; fp != nil {
+			out, tr := fp.Run(ins[0], opts)
+			if trace != nil {
+				trace.Add(tr)
+			}
+			return out, true
+		}
+		return nil, false
+	}
+}
+
+// Forward runs the compiled network on one image, returning the graph
+// output and accumulating layer traces into trace (which may be nil).
+func (net *Network) Forward(img *tensor.Tensor, opts RunOpts, trace *NetTrace) *tensor.Tensor {
+	return net.Model.Graph.ForwardExec(img, nil, net.exec(opts, trace))
+}
+
+// Feature runs the network and returns the flattened feature-node output
+// (the classifier head's input), so accuracy under SnaPEA execution can
+// be measured with the trained head.
+func (net *Network) Feature(img *tensor.Tensor, opts RunOpts, trace *NetTrace) []float32 {
+	var feat []float32
+	net.Model.Graph.ForwardExec(img, func(name string, t *tensor.Tensor) {
+		if name == net.Model.FeatureNode {
+			cp := make([]float32, len(t.Data()))
+			copy(cp, t.Data())
+			feat = cp
+		}
+	}, net.exec(opts, trace))
+	return feat
+}
+
+// CacheAll runs the network and returns every node's output (keyed by
+// node name, plus the input under nn.InputName). The optimizer uses this
+// to re-run only the suffix of the graph affected by one layer's
+// speculation.
+func (net *Network) CacheAll(img *tensor.Tensor, opts RunOpts) map[string]*tensor.Tensor {
+	vals := map[string]*tensor.Tensor{nn.InputName: img}
+	net.Model.Graph.ForwardExec(img, func(name string, t *tensor.Tensor) {
+		vals[name] = t
+	}, net.exec(opts, nil))
+	return vals
+}
+
+// ForwardFrom recomputes the graph from node `from` (inclusive) to the
+// end, taking earlier node values from base, and returns the feature
+// vector. base is not modified.
+func (net *Network) ForwardFrom(base map[string]*tensor.Tensor, from string, opts RunOpts, trace *NetTrace) []float32 {
+	nodes := net.Model.Graph.Nodes()
+	start := -1
+	for i, n := range nodes {
+		if n.Name == from {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		panic("snapea: ForwardFrom unknown node " + from)
+	}
+	vals := make(map[string]*tensor.Tensor, len(nodes)+1)
+	exec := net.exec(opts, trace)
+	lookup := func(name string) *tensor.Tensor {
+		if v, ok := vals[name]; ok {
+			return v
+		}
+		if v, ok := base[name]; ok {
+			return v
+		}
+		panic("snapea: ForwardFrom missing value for " + name)
+	}
+	var feat []float32
+	capture := func(name string, t *tensor.Tensor) {
+		if name == net.Model.FeatureNode {
+			cp := make([]float32, len(t.Data()))
+			copy(cp, t.Data())
+			feat = cp
+		}
+	}
+	for i := start; i < len(nodes); i++ {
+		n := nodes[i]
+		ins := make([]*tensor.Tensor, len(n.Inputs))
+		for j, name := range n.Inputs {
+			ins[j] = lookup(name)
+		}
+		out, done := exec(n, ins)
+		if !done {
+			out = n.Layer.Forward(ins)
+		}
+		vals[n.Name] = out
+		capture(n.Name, out)
+	}
+	if feat == nil {
+		// Feature node precedes `from`; take it from the cache.
+		t := lookup(net.Model.FeatureNode)
+		cp := make([]float32, len(t.Data()))
+		copy(cp, t.Data())
+		feat = cp
+	}
+	return feat
+}

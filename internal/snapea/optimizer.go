@@ -1,0 +1,602 @@
+package snapea
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"snapea/internal/nn"
+	"snapea/internal/tensor"
+	"snapea/internal/train"
+)
+
+// OptConfig parameterizes Algorithm 1.
+type OptConfig struct {
+	// Epsilon is the acceptable classification-accuracy loss ε.
+	Epsilon float64
+	// NCandidates are the group counts tried per kernel (the paper's
+	// "number of groups" N). Zero-length means {4, 8, 16}.
+	NCandidates []int
+	// ThQuantiles are the quantiles of each kernel's speculation-prefix
+	// partial-sum distribution used as threshold candidates.
+	// Zero-length means {0.2, 0.35, 0.5, 0.65}.
+	ThQuantiles []float64
+	// MaxWindows caps the number of convolution windows sampled per
+	// kernel during profiling. Zero means 64.
+	MaxWindows int
+	// T is the number of per-layer configurations the local pass
+	// examines (the paper's T). Zero means 4.
+	T int
+	// FNBudgetScale maps ε to the kernel-level error budget used during
+	// profiling: a candidate is acceptable when the *mass* of positive
+	// convolution outputs it would squash to zero is at most
+	// FNBudgetScale × ε of the kernel's total positive output mass.
+	// Budgeting mass rather than count makes the admitted errors land
+	// on small positive values — the property the paper reports ("more
+	// than 86% of the error occurs on the small positive values") and
+	// the reason misspeculation barely moves classification. This is
+	// the kernel-granularity substitute for the paper's per-kernel
+	// full-network Simulate (see DESIGN.md). Zero means 2.
+	FNBudgetScale float64
+	// SoftScale maps ε to the surrogate budget (SoftLoss × ε·SoftScale):
+	// a mean correct-class probability drop is mostly margin erosion
+	// that never crosses the argmax boundary, so a budget of ε on it is
+	// far stricter than ε of 0/1 accuracy. Zero means 3.
+	SoftScale float64
+	// SoftLoss makes the local and global passes budget the mean drop
+	// of the correct class's softmax probability instead of the 0/1
+	// accuracy. With an optimization set of n images, 0/1 accuracy
+	// quantizes to 1/n steps — for small n that is far coarser than ε,
+	// and the greedy search cannot see gradations the paper's
+	// thousands-of-images D resolves. The reported accuracies remain
+	// hard 0/1.
+	SoftLoss bool
+	NegOrder NegOrder
+}
+
+func (c OptConfig) normalize() OptConfig {
+	if len(c.NCandidates) == 0 {
+		c.NCandidates = []int{4, 8, 16}
+	}
+	if len(c.ThQuantiles) == 0 {
+		c.ThQuantiles = []float64{0.2, 0.35, 0.5, 0.65}
+	}
+	if c.MaxWindows == 0 {
+		c.MaxWindows = 64
+	}
+	if c.T == 0 {
+		c.T = 4
+	}
+	if c.FNBudgetScale == 0 {
+		c.FNBudgetScale = 3
+	}
+	if c.SoftScale == 0 {
+		c.SoftScale = 3
+	}
+	return c
+}
+
+// Candidate is one profiled (Th, N) choice for a kernel, with its
+// estimated mean ops per window and false-negative rate.
+type Candidate struct {
+	Param KernelParam
+	Op    float64
+	FN    float64
+}
+
+// layerChoice is one per-layer configuration the optimization stage
+// weighs: a full set of kernel parameters plus its measured total layer
+// ops on the optimization set and its isolated accuracy loss.
+type layerChoice struct {
+	params LayerParams
+	op     float64
+	err    float64
+}
+
+// Result is the output of Algorithm 1.
+type Result struct {
+	// Params holds the final speculation parameters per conv node.
+	Params map[string]LayerParams
+	// Predictive marks the layers whose final configuration speculates
+	// (at least one kernel with N > 0) — Table IV's numerator.
+	Predictive map[string]bool
+	// BaseAcc / FinalAcc are the optimization-set accuracies of the
+	// exact and final predictive networks.
+	BaseAcc  float64
+	FinalAcc float64
+	// GlobalIters counts global-pass parameter adjustments.
+	GlobalIters int
+	// ParamK is the profiling stage's accepted candidates per node and
+	// kernel (exposed for inspection and tests).
+	ParamK map[string][][]Candidate
+}
+
+// Optimizer runs Algorithm 1 against a calibrated model with a trained
+// head. The images are the paper's "optimization dataset" D.
+type Optimizer struct {
+	net    *Network
+	head   *nn.FC
+	images []*tensor.Tensor
+	labels []int
+	cfg    OptConfig
+
+	caches    []map[string]*tensor.Tensor // exact-execution node values per image
+	baseFeats [][]float32
+	baseAcc   float64
+	baseProb  []float64          // correct-class probability per image, exact execution
+	temp      float64            // calibrated softmax temperature for the surrogate
+	exactOps  map[string]float64 // per-layer exact-mode ops on D
+	lastAcc   float64            // hard accuracy of the most recent evalFull
+	log       func(string, ...any)
+}
+
+// NewOptimizer prepares an optimizer. head must already be trained.
+func NewOptimizer(net *Network, head *nn.FC, images []*tensor.Tensor, labels []int, cfg OptConfig) *Optimizer {
+	if len(images) == 0 || len(images) != len(labels) {
+		panic("snapea: optimizer needs a non-empty labelled optimization set")
+	}
+	return &Optimizer{net: net, head: head, images: images, labels: labels, cfg: cfg.normalize()}
+}
+
+// SetLog installs a progress logger (Printf-style).
+func (o *Optimizer) SetLog(f func(string, ...any)) { o.log = f }
+
+func (o *Optimizer) logf(format string, args ...any) {
+	if o.log != nil {
+		o.log(format, args...)
+	}
+}
+
+// Run executes the profiling stage and both optimization passes, returns
+// the chosen parameters, and leaves the optimizer's network compiled
+// with them.
+func (o *Optimizer) Run() *Result {
+	o.prepare()
+	if o.cfg.Epsilon <= 0 {
+		// The paper defines the 0%-loss point as the pure exact mode
+		// with the prediction mechanism disabled (Figure 11), not as
+		// "speculate wherever the optimization set happens not to
+		// notice" — so ε=0 short-circuits to all-exact parameters.
+		res := &Result{
+			Params:     make(map[string]LayerParams, len(o.net.PlanOrder)),
+			Predictive: make(map[string]bool),
+			BaseAcc:    o.baseAcc,
+			FinalAcc:   o.baseAcc,
+			ParamK:     make(map[string][][]Candidate),
+		}
+		for _, node := range o.net.PlanOrder {
+			res.Params[node] = AllExact(o.net.Plans[node].Conv.OutC)
+		}
+		return res
+	}
+	paramK := o.kernelProfilingPass()
+	paramL := o.localOptimizationPass(paramK)
+	res := o.globalOptimizationPass(paramL)
+	res.ParamK = paramK
+	res.BaseAcc = o.baseAcc
+	return res
+}
+
+// prepare caches exact-mode node values and the exact per-layer op
+// totals for the optimization set.
+func (o *Optimizer) prepare() {
+	// Reset every plan to exact.
+	for _, name := range o.net.PlanOrder {
+		o.setPlan(name, AllExact(o.net.Plans[name].Conv.OutC))
+	}
+	o.caches = make([]map[string]*tensor.Tensor, len(o.images))
+	o.baseFeats = make([][]float32, len(o.images))
+	o.exactOps = make(map[string]float64)
+	for i, img := range o.images {
+		trace := NewNetTrace()
+		vals := map[string]*tensor.Tensor{nn.InputName: img}
+		o.net.Model.Graph.ForwardExec(img, func(name string, t *tensor.Tensor) {
+			vals[name] = t
+		}, o.net.exec(RunOpts{}, trace))
+		o.caches[i] = vals
+		feat := vals[o.net.Model.FeatureNode]
+		cp := make([]float32, len(feat.Data()))
+		copy(cp, feat.Data())
+		o.baseFeats[i] = cp
+		for name, tr := range trace.Layers {
+			o.exactOps[name] += float64(tr.TotalOps)
+		}
+	}
+	o.baseAcc = train.Accuracy(o.head, o.baseFeats, o.labels)
+	// Calibrate the surrogate's softmax temperature so the baseline
+	// correct-class probability is unsaturated (~0.75 mean); otherwise
+	// an overfit head reduces the smooth surrogate to 0/1 steps.
+	o.temp = 1
+	for iter := 0; iter < 30; iter++ {
+		var mean float64
+		for i, feat := range o.baseFeats {
+			mean += train.ProbT(o.head, feat, o.labels[i], o.temp)
+		}
+		mean /= float64(len(o.baseFeats))
+		if mean > 0.80 {
+			o.temp *= 1.5
+		} else if mean < 0.60 {
+			o.temp /= 1.5
+		} else {
+			break
+		}
+	}
+	o.baseProb = make([]float64, len(o.images))
+	for i, feat := range o.baseFeats {
+		o.baseProb[i] = train.ProbT(o.head, feat, o.labels[i], o.temp)
+	}
+	o.logf("optimizer: base accuracy %.3f on %d images (temp %.2f)", o.baseAcc, len(o.images), o.temp)
+}
+
+// setPlan recompiles one layer's plan with new parameters.
+func (o *Optimizer) setPlan(node string, params LayerParams) {
+	old := o.net.Plans[node]
+	o.net.Plans[node] = NewLayerPlan(node, old.Conv, old.inShape, params, o.cfg.NegOrder)
+}
+
+// kernelProfilingPass implements KERNELPROFILINGPASS: for every kernel it
+// measures mean ops and false-negative rate over sampled windows for a
+// grid of (th, n) values and keeps the candidates within the kernel-level
+// budget, sorted by ascending op. The exact configuration is always the
+// final fallback entry.
+func (o *Optimizer) kernelProfilingPass() map[string][][]Candidate {
+	fnBudget := math.Min(0.5, o.cfg.FNBudgetScale*o.cfg.Epsilon)
+	out := make(map[string][][]Candidate, len(o.net.PlanOrder))
+	for _, node := range o.net.PlanOrder {
+		plan := o.net.Plans[node]
+		conv := plan.Conv
+		windows := o.sampleWindows(node)
+		kands := make([][]Candidate, conv.OutC)
+		ksz := conv.KernelSize()
+		xbuf := make([]float32, ksz)
+		gath := make([]float32, ksz)
+		for k := 0; k < conv.OutC; k++ {
+			w := conv.Kernel(k)
+			bias := conv.Bias[k]
+			// Exact baseline per window.
+			rkE := Reorder(w, Exact, o.cfg.NegOrder)
+			var exactOps, denseOps float64
+			fulls := make([]float64, len(windows))
+			for wi, win := range windows {
+				o.gatherWindow(node, win, k, xbuf)
+				rkE.gatherInto(xbuf, gath)
+				ops, _ := rkE.Op(gath, bias)
+				exactOps += float64(ops)
+				full := float64(bias)
+				for i, x := range xbuf {
+					full += float64(w[i]) * float64(x)
+				}
+				fulls[wi] = full
+				denseOps += float64(ksz)
+			}
+			exactOps /= float64(len(windows))
+			var accepted []Candidate
+			for _, n := range o.cfg.NCandidates {
+				if n >= ksz {
+					continue
+				}
+				rk := Reorder(w, KernelParam{N: n}, o.cfg.NegOrder)
+				// Speculation-prefix sums per window → threshold grid.
+				sums := make([]float64, len(windows))
+				for wi, win := range windows {
+					o.gatherWindow(node, win, k, xbuf)
+					s := float64(bias)
+					for i := 0; i < rk.NumSpec; i++ {
+						s += float64(rk.Weights[i]) * float64(xbuf[rk.Index[i]])
+					}
+					sums[wi] = s
+				}
+				sorted := append([]float64(nil), sums...)
+				sort.Float64s(sorted)
+				for _, q := range o.cfg.ThQuantiles {
+					th := float32(sorted[int(q*float64(len(sorted)-1))])
+					rk.Th = th
+					var ops float64
+					var fn, pos int
+					var fnMass, posMass float64
+					for wi, win := range windows {
+						o.gatherWindow(node, win, k, xbuf)
+						rk.gatherInto(xbuf, gath)
+						op, _ := rk.Op(gath, bias)
+						ops += float64(op)
+						if fulls[wi] >= 0 {
+							pos++
+							posMass += fulls[wi]
+							if sums[wi] <= float64(th) {
+								fn++
+								fnMass += fulls[wi]
+							}
+						}
+					}
+					ops /= float64(len(windows))
+					fnRate := 0.0
+					if pos > 0 {
+						fnRate = float64(fn) / float64(pos)
+					}
+					massRatio := 0.0
+					if posMass > 0 {
+						massRatio = fnMass / posMass
+					}
+					if massRatio <= fnBudget && ops < exactOps {
+						accepted = append(accepted, Candidate{
+							Param: KernelParam{Th: th, N: n},
+							Op:    ops,
+							FN:    fnRate,
+						})
+					}
+				}
+			}
+			sort.Slice(accepted, func(a, b int) bool { return accepted[a].Op < accepted[b].Op })
+			accepted = append(accepted, Candidate{Param: Exact, Op: exactOps})
+			kands[k] = accepted
+		}
+		out[node] = kands
+		o.logf("optimizer: profiled %s (%d kernels, %d windows)", node, conv.OutC, len(windows))
+	}
+	return out
+}
+
+// windowRef identifies one sampled convolution window.
+type windowRef struct {
+	img      int
+	iy0, ix0 int
+}
+
+// sampleWindows picks up to cfg.MaxWindows windows of the layer's output
+// grid, spread evenly over the optimization images and spatial extent.
+func (o *Optimizer) sampleWindows(node string) []windowRef {
+	plan := o.net.Plans[node]
+	total := plan.outH * plan.outW * len(o.images)
+	want := o.cfg.MaxWindows
+	if want > total {
+		want = total
+	}
+	stride := float64(total) / float64(want)
+	out := make([]windowRef, 0, want)
+	for i := 0; i < want; i++ {
+		flat := int(float64(i) * stride)
+		img := flat / (plan.outH * plan.outW)
+		rem := flat % (plan.outH * plan.outW)
+		oy := rem / plan.outW
+		ox := rem % plan.outW
+		out = append(out, windowRef{
+			img: img,
+			iy0: oy*plan.Conv.StrideH - plan.Conv.PadH,
+			ix0: ox*plan.Conv.StrideW - plan.Conv.PadW,
+		})
+	}
+	return out
+}
+
+// gatherWindow fills x (len KernelSize) with the window's input values in
+// original flattened kernel order, honoring the kernel's channel group
+// and zero padding.
+func (o *Optimizer) gatherWindow(node string, win windowRef, k int, x []float32) {
+	plan := o.net.Plans[node]
+	conv := plan.Conv
+	in := o.layerInput(node, win.img)
+	s := in.Shape()
+	ind := in.Data()
+	inCg := conv.InC / conv.Groups
+	outCg := conv.OutC / conv.Groups
+	cBase := (k / outCg) * inCg
+	i := 0
+	for ci := 0; ci < inCg; ci++ {
+		base := (cBase + ci) * s.H * s.W
+		for ky := 0; ky < conv.KH; ky++ {
+			iy := win.iy0 + ky
+			for kx := 0; kx < conv.KW; kx++ {
+				ix := win.ix0 + kx
+				if iy < 0 || iy >= s.H || ix < 0 || ix >= s.W {
+					x[i] = 0
+				} else {
+					x[i] = ind[base+iy*s.W+ix]
+				}
+				i++
+			}
+		}
+	}
+}
+
+// layerInput returns the cached exact-execution input of a conv node for
+// one optimization image.
+func (o *Optimizer) layerInput(node string, img int) *tensor.Tensor {
+	n := o.net.Model.Graph.Node(node)
+	return o.caches[img][n.Inputs[0]]
+}
+
+// gatherInto is Gather without allocation.
+func (rk *ReorderedKernel) gatherInto(orig, dst []float32) {
+	for i, idx := range rk.Index {
+		dst[i] = orig[idx]
+	}
+}
+
+// localOptimizationPass implements LOCALOPTIMIZATIONPASS: for each layer
+// it forms T configurations (kernel k takes its t-th profiled candidate),
+// evaluates each with only that layer speculating, and keeps those within
+// ε. The exact configuration is appended as the guaranteed-feasible
+// fallback.
+func (o *Optimizer) localOptimizationPass(paramK map[string][][]Candidate) map[string][]layerChoice {
+	out := make(map[string][]layerChoice, len(o.net.PlanOrder))
+	for _, node := range o.net.PlanOrder {
+		kands := paramK[node]
+		outC := len(kands)
+		var choices []layerChoice
+		for t := 0; t < o.cfg.T; t++ {
+			params := make(LayerParams, outC)
+			anySpec := false
+			for k := 0; k < outC; k++ {
+				list := kands[k]
+				idx := t
+				if idx >= len(list) {
+					idx = len(list) - 1
+				}
+				params[k] = list[idx].Param
+				if !params[k].IsExact() {
+					anySpec = true
+				}
+			}
+			if !anySpec {
+				break // further t only repeats the exact config
+			}
+			op, err := o.evalLayer(node, params)
+			if err <= o.cfg.Epsilon {
+				choices = append(choices, layerChoice{params: params, op: op, err: err})
+			}
+		}
+		sort.Slice(choices, func(a, b int) bool { return choices[a].op < choices[b].op })
+		choices = append(choices, layerChoice{params: AllExact(outC), op: o.exactOps[node], err: 0})
+		out[node] = choices
+		o.logf("optimizer: local pass %s kept %d configs", node, len(choices))
+	}
+	return out
+}
+
+// evalLayer measures (total layer ops on D, accuracy loss) with only
+// `node` running the given parameters and every other layer exact.
+func (o *Optimizer) evalLayer(node string, params LayerParams) (op float64, errLoss float64) {
+	old := o.net.Plans[node]
+	o.setPlan(node, params)
+	defer func() { o.net.Plans[node] = old }()
+
+	feats := make([][]float32, len(o.images))
+	trace := NewNetTrace()
+	for i := range o.images {
+		feats[i] = o.net.ForwardFrom(o.caches[i], node, RunOpts{}, trace)
+	}
+	return float64(trace.Layers[node].TotalOps), o.loss(feats)
+}
+
+// loss measures how much worse feats classify than the exact baseline:
+// the 0/1 accuracy drop, or its smooth surrogate under SoftLoss.
+//
+// The surrogate rescales each feature vector to its exact-execution
+// norm before reading the softmax. Squashing small positive windows to
+// zero shrinks activations *uniformly*, and a uniform feature scaling
+// barely moves a linear classifier's argmax while collapsing its softmax
+// confidence; without the normalization the surrogate would spend the
+// whole ε budget on that harmless shrinkage instead of on genuine
+// direction changes.
+func (o *Optimizer) loss(feats [][]float32) float64 {
+	if !o.cfg.SoftLoss {
+		return o.baseAcc - train.Accuracy(o.head, feats, o.labels)
+	}
+	var drop float64
+	var buf []float32
+	for i, feat := range feats {
+		var nb, nf float64
+		for j, v := range feat {
+			b := o.baseFeats[i][j]
+			nb += float64(b) * float64(b)
+			nf += float64(v) * float64(v)
+		}
+		x := feat
+		if nf > 0 && nb > 0 {
+			scale := float32(math.Sqrt(nb / nf))
+			if cap(buf) < len(feat) {
+				buf = make([]float32, len(feat))
+			}
+			buf = buf[:len(feat)]
+			for j, v := range feat {
+				buf[j] = v * scale
+			}
+			x = buf
+		}
+		if d := o.baseProb[i] - train.ProbT(o.head, x, o.labels[i], o.temp); d > 0 {
+			drop += d
+		}
+	}
+	return drop / float64(len(feats)) / o.cfg.SoftScale
+}
+
+// globalOptimizationPass implements GLOBALOPTIMIZATIONPASS with the
+// paper's merit rule: start every layer at its cheapest acceptable local
+// configuration, and while the joint accuracy loss exceeds ε, move the
+// layer/configuration with the highest −Δerr/Δop merit to a more
+// conservative setting.
+func (o *Optimizer) globalOptimizationPass(paramL map[string][]layerChoice) *Result {
+	current := make(map[string]layerChoice, len(paramL))
+	remaining := make(map[string][]layerChoice, len(paramL))
+	for node, choices := range paramL {
+		current[node] = choices[0]
+		remaining[node] = append([]layerChoice(nil), choices[1:]...)
+		o.setPlan(node, choices[0].params)
+	}
+	err := o.evalFull()
+	iters := 0
+	for err > o.cfg.Epsilon {
+		node, idx, ok := o.adjustParam(current, remaining)
+		if !ok {
+			break // everything already at its most conservative config
+		}
+		current[node] = remaining[node][idx]
+		remaining[node] = append(remaining[node][:idx:idx], remaining[node][idx+1:]...)
+		o.setPlan(node, current[node].params)
+		err = o.evalFull()
+		iters++
+		o.logf("optimizer: global iter %d moved %s, loss %.4f", iters, node, err)
+	}
+	res := &Result{
+		Params:      make(map[string]LayerParams, len(current)),
+		Predictive:  make(map[string]bool, len(current)),
+		FinalAcc:    o.lastAcc,
+		GlobalIters: iters,
+	}
+	for node, choice := range current {
+		res.Params[node] = choice.params
+		for _, p := range choice.params {
+			if !p.IsExact() {
+				res.Predictive[node] = true
+				break
+			}
+		}
+	}
+	return res
+}
+
+// adjustParam implements ADJUSTPARAM: pick the (layer, candidate) with
+// maximal merit −Δerr/Δop relative to the layer's current choice.
+func (o *Optimizer) adjustParam(current map[string]layerChoice, remaining map[string][]layerChoice) (string, int, bool) {
+	bestMerit := math.Inf(-1)
+	bestNode, bestIdx := "", -1
+	for node, list := range remaining {
+		cur := current[node]
+		for i, cand := range list {
+			dErr := cand.err - cur.err
+			dOp := cand.op - cur.op
+			var merit float64
+			switch {
+			case dErr > 0:
+				continue // would worsen the isolated accuracy
+			case dOp <= 0:
+				merit = math.Inf(1) // strictly better: less error, fewer ops
+			default:
+				merit = -dErr / dOp
+			}
+			if merit > bestMerit {
+				bestMerit, bestNode, bestIdx = merit, node, i
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return "", -1, false
+	}
+	return bestNode, bestIdx, true
+}
+
+// evalFull measures the loss with the network's current plans.
+func (o *Optimizer) evalFull() float64 {
+	feats := make([][]float32, len(o.images))
+	for i, img := range o.images {
+		feats[i] = o.net.Feature(img, RunOpts{}, nil)
+	}
+	o.lastAcc = train.Accuracy(o.head, feats, o.labels)
+	return o.loss(feats)
+}
+
+// String summarizes a result.
+func (r *Result) String() string {
+	return fmt.Sprintf("snapea: %d/%d layers predictive, base %.3f final %.3f, %d global iters",
+		len(r.Predictive), len(r.Params), r.BaseAcc, r.FinalAcc, r.GlobalIters)
+}

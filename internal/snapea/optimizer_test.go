@@ -1,0 +1,162 @@
+package snapea
+
+import (
+	"testing"
+
+	"snapea/internal/calib"
+	"snapea/internal/dataset"
+	"snapea/internal/models"
+	"snapea/internal/tensor"
+	"snapea/internal/train"
+)
+
+// pipeline prepares a calibrated, head-trained TinyNet plus optimization
+// and test sets — the full Algorithm 1 precondition.
+func pipeline(t *testing.T, seed uint64) (*models.Model, []*tensor.Tensor, []int, []*tensor.Tensor, []int) {
+	t.Helper()
+	m, err := models.Build("tinynet", models.Options{Seed: seed, Classes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := dataset.Generate(100, dataset.Config{Classes: 4, HW: m.InputShape.H, Seed: seed + 1})
+	calImgs := make([]*tensor.Tensor, 8)
+	for i := range calImgs {
+		calImgs[i] = samples[i].Image
+	}
+	calib.Calibrate(m, calImgs)
+
+	trainSet, rest := dataset.Split(samples, 0.6)
+	optSet, testSet := dataset.Split(rest, 0.4)
+	trImgs := imagesOf(trainSet)
+	train.TrainHead(m.Head, train.Features(m, trImgs), labelsOf(trainSet), train.Config{})
+	return m, imagesOf(optSet), labelsOf(optSet), imagesOf(testSet), labelsOf(testSet)
+}
+
+func imagesOf(s []dataset.Sample) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(s))
+	for i := range s {
+		out[i] = s[i].Image
+	}
+	return out
+}
+
+func labelsOf(s []dataset.Sample) []int {
+	out := make([]int, len(s))
+	for i := range s {
+		out[i] = s[i].Label
+	}
+	return out
+}
+
+func TestOptimizerRespectsEpsilon(t *testing.T) {
+	m, optImgs, optLabels, _, _ := pipeline(t, 21)
+	net := CompileExact(m)
+	opt := NewOptimizer(net, m.Head, optImgs, optLabels, OptConfig{Epsilon: 0.05})
+	res := opt.Run()
+	if res.BaseAcc-res.FinalAcc > 0.05+1e-9 {
+		t.Fatalf("optimizer exceeded ε: base %.3f final %.3f", res.BaseAcc, res.FinalAcc)
+	}
+	if len(res.Params) != len(net.PlanOrder) {
+		t.Fatalf("params for %d layers, want %d", len(res.Params), len(net.PlanOrder))
+	}
+}
+
+func TestOptimizerEpsilonZeroIsExact(t *testing.T) {
+	m, optImgs, optLabels, _, _ := pipeline(t, 22)
+	net := CompileExact(m)
+	opt := NewOptimizer(net, m.Head, optImgs, optLabels, OptConfig{Epsilon: 0})
+	res := opt.Run()
+	if len(res.Predictive) != 0 {
+		t.Fatalf("ε=0 selected %d predictive layers", len(res.Predictive))
+	}
+	if res.FinalAcc != res.BaseAcc {
+		t.Fatalf("ε=0 changed accuracy: %.3f vs %.3f", res.FinalAcc, res.BaseAcc)
+	}
+}
+
+func TestOptimizerSavesOps(t *testing.T) {
+	m, optImgs, optLabels, testImgs, _ := pipeline(t, 23)
+	net := CompileExact(m)
+
+	// Exact-mode ops on the test set.
+	exactTrace := NewNetTrace()
+	for _, img := range testImgs {
+		net.Forward(img, RunOpts{}, exactTrace)
+	}
+	exactOps, denseOps := exactTrace.Totals()
+
+	opt := NewOptimizer(net, m.Head, optImgs, optLabels, OptConfig{Epsilon: 0.10})
+	res := opt.Run()
+	if len(res.Predictive) == 0 {
+		t.Skip("optimizer found no predictive layer within ε on this toy model")
+	}
+	predTrace := NewNetTrace()
+	for _, img := range testImgs {
+		net.Forward(img, RunOpts{}, predTrace) // net now carries the final plans
+	}
+	predOps, _ := predTrace.Totals()
+	if predOps >= exactOps {
+		t.Fatalf("predictive ops %d >= exact ops %d (dense %d)", predOps, exactOps, denseOps)
+	}
+	t.Logf("dense=%d exact=%d predictive=%d, predictive layers=%d/%d",
+		denseOps, exactOps, predOps, len(res.Predictive), len(res.Params))
+}
+
+func TestOptimizerMonotoneInEpsilon(t *testing.T) {
+	// A larger ε must never force *more* ops (it can only admit more
+	// aggressive configurations).
+	m, optImgs, optLabels, testImgs, _ := pipeline(t, 24)
+	ops := func(eps float64) int64 {
+		net := CompileExact(m)
+		NewOptimizer(net, m.Head, optImgs, optLabels, OptConfig{Epsilon: eps}).Run()
+		tr := NewNetTrace()
+		for _, img := range testImgs {
+			net.Forward(img, RunOpts{}, tr)
+		}
+		total, _ := tr.Totals()
+		return total
+	}
+	o0 := ops(0)
+	o3 := ops(0.15)
+	if o3 > o0 {
+		t.Fatalf("ε=0.15 ops %d > ε=0 ops %d", o3, o0)
+	}
+}
+
+func TestAdjustParamPicksBestMerit(t *testing.T) {
+	current := map[string]layerChoice{
+		"a": {op: 100, err: 0.10},
+		"b": {op: 200, err: 0.05},
+	}
+	remaining := map[string][]layerChoice{
+		// a: big error drop for small op increase → merit 0.05/50 = 1e-3
+		"a": {{op: 150, err: 0.05}},
+		// b: small drop for big increase → merit 0.01/300 ≈ 3.3e-5
+		"b": {{op: 500, err: 0.04}},
+	}
+	o := &Optimizer{}
+	node, idx, ok := o.adjustParam(current, remaining)
+	if !ok || node != "a" || idx != 0 {
+		t.Fatalf("picked %s[%d] ok=%v, want a[0]", node, idx, ok)
+	}
+}
+
+func TestAdjustParamPrefersStrictImprovement(t *testing.T) {
+	current := map[string]layerChoice{"a": {op: 100, err: 0.10}}
+	remaining := map[string][]layerChoice{
+		"a": {{op: 90, err: 0.05}, {op: 200, err: 0.0}},
+	}
+	o := &Optimizer{}
+	node, idx, ok := o.adjustParam(current, remaining)
+	if !ok || node != "a" || idx != 0 {
+		t.Fatalf("must prefer fewer-ops-and-less-error candidate, got %s[%d]", node, idx)
+	}
+}
+
+func TestAdjustParamExhausted(t *testing.T) {
+	o := &Optimizer{}
+	_, _, ok := o.adjustParam(map[string]layerChoice{"a": {}}, map[string][]layerChoice{"a": {}})
+	if ok {
+		t.Fatal("no candidates should report !ok")
+	}
+}

@@ -1,0 +1,69 @@
+package snapea
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// ParamsFile is the on-disk artifact Algorithm 1 produces: the
+// speculation parameters (Th, N) for every kernel of every convolution
+// layer, plus provenance. The accelerator's weight and index buffers are
+// loaded according to this file (weights are reordered offline).
+type ParamsFile struct {
+	Network    string                 `json:"network"`
+	Epsilon    float64                `json:"epsilon"`
+	BaseAcc    float64                `json:"base_accuracy"`
+	FinalAcc   float64                `json:"final_accuracy"`
+	Predictive []string               `json:"predictive_layers"`
+	Layers     map[string]LayerParams `json:"layers"`
+}
+
+// File packages an optimizer result for serialization.
+func (r *Result) File(network string, eps float64) *ParamsFile {
+	f := &ParamsFile{
+		Network:  network,
+		Epsilon:  eps,
+		BaseAcc:  r.BaseAcc,
+		FinalAcc: r.FinalAcc,
+		Layers:   make(map[string]LayerParams, len(r.Params)),
+	}
+	for node, params := range r.Params {
+		f.Layers[node] = append(LayerParams(nil), params...)
+	}
+	for node := range r.Predictive {
+		f.Predictive = append(f.Predictive, node)
+	}
+	sort.Strings(f.Predictive)
+	return f
+}
+
+// Marshal renders the file as indented JSON.
+func (f *ParamsFile) Marshal() ([]byte, error) {
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// ParseParams reads a serialized parameters file and validates its
+// structural invariants.
+func ParseParams(data []byte) (*ParamsFile, error) {
+	var f ParamsFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("snapea: parse params: %w", err)
+	}
+	if len(f.Layers) == 0 {
+		return nil, fmt.Errorf("snapea: params file has no layers")
+	}
+	for node, params := range f.Layers {
+		for i, p := range params {
+			if p.N < 0 {
+				return nil, fmt.Errorf("snapea: %s kernel %d has negative N", node, i)
+			}
+		}
+	}
+	for _, node := range f.Predictive {
+		if _, ok := f.Layers[node]; !ok {
+			return nil, fmt.Errorf("snapea: predictive layer %q has no parameters", node)
+		}
+	}
+	return &f, nil
+}

@@ -1,0 +1,209 @@
+// Package snapea implements the paper's contribution: predictive early
+// activation for ReLU-fused convolutions. It contains the offline weight
+// reordering (Section II-A), the runtime early-termination convolution
+// engine (Sections II-B, V), the Op cost function of Eq. (1), and the
+// greedy constrained optimizer of Algorithm 1 that picks the speculation
+// parameters (Th, N) per kernel under an accuracy-loss budget ε.
+package snapea
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KernelParam is one kernel's speculation parameter pair (Th, N) from the
+// paper: after the N speculation-prefix MACs, a partial sum ≤ Th predicts
+// a negative output. N == 0 selects the exact mode for the kernel (no
+// speculation; only the always-correct sign check).
+type KernelParam struct {
+	Th float32
+	N  int
+}
+
+// Exact is the parameter choice that disables speculation for a kernel.
+var Exact = KernelParam{Th: 0, N: 0}
+
+// IsExact reports whether the parameter disables speculation.
+func (p KernelParam) IsExact() bool { return p.N == 0 }
+
+// LayerParams holds one KernelParam per output channel of a layer.
+type LayerParams []KernelParam
+
+// AllExact returns layer parameters that put every kernel in exact mode.
+func AllExact(outC int) LayerParams { return make(LayerParams, outC) }
+
+// NegOrder selects how the negative-weight suffix is ordered. The paper
+// only requires positives-then-negatives; ordering negatives by
+// descending magnitude drives the partial sum below zero sooner, which
+// the ablation bench quantifies.
+type NegOrder int
+
+const (
+	// NegByMagnitude puts the most negative weights first (default).
+	NegByMagnitude NegOrder = iota
+	// NegOriginal keeps the negatives in their original kernel order.
+	NegOriginal
+)
+
+// ReorderedKernel is one output channel's weights in SnaPEA execution
+// order together with the index buffer that maps each position back to
+// the original kernel coordinate (the hardware uses this to fetch the
+// matching input; Section V, "Weight and index buffers").
+type ReorderedKernel struct {
+	Weights []float32
+	Index   []int32 // position in the original flattened kernel
+	// NumSpec speculation-prefix weights come first; then positives;
+	// then negatives starting at PosEnd.
+	NumSpec int
+	PosEnd  int
+	Th      float32
+}
+
+// Reorder builds the execution order for one kernel. w is the flattened
+// original kernel (channel-major); it is not modified.
+//
+// Exact mode (p.N == 0): positive weights in original order, then
+// negative weights per negOrder.
+//
+// Predictive mode (p.N > 0): the weights are sorted by ascending
+// magnitude and split into N near-equal groups; the largest-magnitude
+// member of each group forms the speculation prefix (Section IV-A — this
+// spreads the prefix across the whole magnitude spectrum instead of
+// taking the N largest, which the paper shows destroys accuracy). The
+// remaining weights follow in sign-based order.
+//
+// Exactly-zero weights (statically pruned) are elided: the index buffer
+// already decouples execution order from storage order, so a zero MAC —
+// which can never change the sum or the sign trajectory — is simply
+// never issued. This is how static pruning and SnaPEA compose.
+func Reorder(w []float32, p KernelParam, negOrder NegOrder) ReorderedKernel {
+	n := len(w)
+	if n == 0 {
+		panic("snapea: empty kernel")
+	}
+	spec := make([]int32, 0, p.N)
+	inSpec := make([]bool, n)
+	nonzero := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if w[i] != 0 {
+			nonzero = append(nonzero, int32(i))
+		}
+	}
+	if p.N > 0 && len(nonzero) > 0 {
+		groups := p.N
+		if groups > len(nonzero) {
+			groups = len(nonzero)
+		}
+		byMag := append([]int32(nil), nonzero...)
+		sort.Slice(byMag, func(a, b int) bool {
+			return abs32(w[byMag[a]]) < abs32(w[byMag[b]])
+		})
+		// Split into `groups` near-equal contiguous chunks and take the
+		// last (largest-magnitude) element of each.
+		for g := 0; g < groups; g++ {
+			end := (g+1)*len(byMag)/groups - 1
+			idx := byMag[end]
+			spec = append(spec, idx)
+			inSpec[idx] = true
+		}
+	}
+
+	pos := make([]int32, 0, n)
+	neg := make([]int32, 0, n)
+	for _, i := range nonzero {
+		if inSpec[i] {
+			continue
+		}
+		if w[i] > 0 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	if negOrder == NegByMagnitude {
+		sort.Slice(neg, func(a, b int) bool { return w[neg[a]] < w[neg[b]] })
+	}
+
+	rk := ReorderedKernel{
+		Weights: make([]float32, 0, len(nonzero)),
+		Index:   make([]int32, 0, len(nonzero)),
+		NumSpec: len(spec),
+		Th:      p.Th,
+	}
+	appendIdx := func(idxs []int32) {
+		for _, i := range idxs {
+			rk.Weights = append(rk.Weights, w[i])
+			rk.Index = append(rk.Index, i)
+		}
+	}
+	appendIdx(spec)
+	appendIdx(pos)
+	rk.PosEnd = len(rk.Weights)
+	appendIdx(neg)
+	if len(rk.Weights) != len(nonzero) {
+		panic(fmt.Sprintf("snapea: reorder lost weights: %d != %d", len(rk.Weights), len(nonzero)))
+	}
+	return rk
+}
+
+// ReorderNaivePrefix builds the speculation prefix the paper argues
+// *against* (Section IV-A): the N largest-magnitude weights, ignoring
+// the input's contribution. It exists for the ablation bench that
+// reproduces the paper's claim that naive selection drastically hurts
+// classification accuracy relative to group-representative selection.
+func ReorderNaivePrefix(w []float32, p KernelParam, negOrder NegOrder) ReorderedKernel {
+	n := len(w)
+	if p.N <= 0 {
+		return Reorder(w, p, negOrder)
+	}
+	byMag := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if w[i] != 0 {
+			byMag = append(byMag, int32(i))
+		}
+	}
+	sort.Slice(byMag, func(a, b int) bool {
+		return abs32(w[byMag[a]]) > abs32(w[byMag[b]])
+	})
+	groups := p.N
+	if groups > len(byMag) {
+		groups = len(byMag)
+	}
+	spec := byMag[:groups]
+	pos := make([]int32, 0, n)
+	neg := make([]int32, 0, n)
+	for _, i := range byMag[groups:] {
+		if w[i] > 0 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	if negOrder == NegByMagnitude {
+		sort.Slice(neg, func(a, b int) bool { return w[neg[a]] < w[neg[b]] })
+	}
+	rk := ReorderedKernel{
+		Weights: make([]float32, 0, n),
+		Index:   make([]int32, 0, n),
+		NumSpec: len(spec),
+		Th:      p.Th,
+	}
+	appendIdx := func(idxs []int32) {
+		for _, i := range idxs {
+			rk.Weights = append(rk.Weights, w[i])
+			rk.Index = append(rk.Index, i)
+		}
+	}
+	appendIdx(spec)
+	appendIdx(pos)
+	rk.PosEnd = len(rk.Weights)
+	appendIdx(neg)
+	return rk
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

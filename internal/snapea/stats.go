@@ -1,0 +1,73 @@
+package snapea
+
+// Histogram buckets a traced layer's per-window op counts as fractions
+// of the kernel size: bucket i of n covers [i/n, (i+1)/n] of the dense
+// MAC count, and the returned values are window fractions summing to 1.
+// The trace must have been collected with RunOpts.CollectWindows.
+func Histogram(tr *LayerTrace, buckets int) []float64 {
+	if buckets <= 0 || len(tr.Ops) == 0 {
+		return nil
+	}
+	out := make([]float64, buckets)
+	k := float64(tr.KernelSize)
+	for _, ops := range tr.Ops {
+		b := int(float64(ops) / k * float64(buckets))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		out[b]++
+	}
+	for i := range out {
+		out[i] /= float64(len(tr.Ops))
+	}
+	return out
+}
+
+// StopStats summarizes where a traced layer's windows terminate.
+type StopStats struct {
+	Node string
+	// MeanFrac is mean ops / kernel size; P50Frac and P90Frac are the
+	// 50th and 90th percentile fractions.
+	MeanFrac float64
+	P50Frac  float64
+	P90Frac  float64
+	// SpecRate / SignRate are the fractions of windows cut by the
+	// threshold check and the sign check.
+	SpecRate float64
+	SignRate float64
+}
+
+// Stops computes StopStats from a windows-collected trace.
+func Stops(tr *LayerTrace) StopStats {
+	st := StopStats{Node: tr.Node}
+	if tr.Windows == 0 {
+		return st
+	}
+	st.SpecRate = float64(tr.SpecZero) / float64(tr.Windows)
+	st.SignRate = float64(tr.SignZero) / float64(tr.Windows)
+	st.MeanFrac = float64(tr.TotalOps) / float64(tr.DenseOps)
+	if len(tr.Ops) == 0 {
+		return st
+	}
+	// Percentiles via a counting pass (ops are bounded by KernelSize).
+	counts := make([]int64, tr.KernelSize+1)
+	for _, o := range tr.Ops {
+		counts[o]++
+	}
+	total := int64(len(tr.Ops))
+	var cum int64
+	p50, p90 := -1, -1
+	for ops, c := range counts {
+		cum += c
+		if p50 < 0 && cum*2 >= total {
+			p50 = ops
+		}
+		if p90 < 0 && cum*10 >= total*9 {
+			p90 = ops
+			break
+		}
+	}
+	st.P50Frac = float64(p50) / float64(tr.KernelSize)
+	st.P90Frac = float64(p90) / float64(tr.KernelSize)
+	return st
+}

@@ -1,0 +1,79 @@
+package snapea
+
+import (
+	"math"
+	"testing"
+
+	"snapea/internal/tensor"
+)
+
+func tracedLayer(t *testing.T) *LayerTrace {
+	t.Helper()
+	conv := randConv(4, 8, 3, 1, 1, 1, 81)
+	in := nonNegInput(tensor.Shape{N: 1, C: 4, H: 10, W: 10}, 82)
+	plan := NewLayerPlan("l", conv, in.Shape(), nil, NegByMagnitude)
+	_, tr := plan.Run(in, RunOpts{CollectWindows: true})
+	return tr
+}
+
+func TestHistogramSumsToOne(t *testing.T) {
+	tr := tracedLayer(t)
+	h := Histogram(tr, 10)
+	if len(h) != 10 {
+		t.Fatalf("buckets %d", len(h))
+	}
+	var sum float64
+	for _, v := range h {
+		if v < 0 {
+			t.Fatal("negative bucket")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("histogram sums to %g", sum)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	tr := tracedLayer(t)
+	if Histogram(tr, 0) != nil {
+		t.Fatal("zero buckets must return nil")
+	}
+	empty := &LayerTrace{KernelSize: 10}
+	if Histogram(empty, 4) != nil {
+		t.Fatal("trace without window ops must return nil")
+	}
+}
+
+func TestStopsConsistency(t *testing.T) {
+	tr := tracedLayer(t)
+	st := Stops(tr)
+	if st.MeanFrac <= 0 || st.MeanFrac > 1 {
+		t.Fatalf("mean frac %g", st.MeanFrac)
+	}
+	if st.P50Frac > st.P90Frac {
+		t.Fatalf("p50 %g > p90 %g", st.P50Frac, st.P90Frac)
+	}
+	if st.SpecRate != 0 {
+		t.Fatal("exact mode cannot speculate")
+	}
+	if st.SignRate <= 0 {
+		t.Fatal("calibrated layer should sign-terminate some windows")
+	}
+	// The mean over the histogram must agree with MeanFrac roughly.
+	h := Histogram(tr, 20)
+	var mean float64
+	for i, v := range h {
+		mean += (float64(i) + 0.5) / 20 * v
+	}
+	if math.Abs(mean-st.MeanFrac) > 0.05 {
+		t.Fatalf("histogram mean %g vs trace mean %g", mean, st.MeanFrac)
+	}
+}
+
+func TestStopsEmptyTrace(t *testing.T) {
+	st := Stops(&LayerTrace{Node: "x"})
+	if st.MeanFrac != 0 || st.SpecRate != 0 {
+		t.Fatal("empty trace must be zero stats")
+	}
+}

@@ -1,0 +1,216 @@
+// Package tensor provides the minimal dense-tensor substrate used by the
+// CNN inference engine and the SnaPEA convolution engine. Tensors are
+// float32, stored contiguously in NCHW order (batch, channel, height,
+// width), matching the layout the paper's accelerator streams through its
+// on-chip buffers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape describes the extent of a tensor along up to four dimensions.
+// Lower-rank tensors use a rank-4 shape with leading 1s (a fully-connected
+// activation of length n is {1, n, 1, 1}).
+type Shape struct {
+	N, C, H, W int
+}
+
+// Elems returns the total number of elements the shape addresses.
+func (s Shape) Elems() int { return s.N * s.C * s.H * s.W }
+
+// Valid reports whether every extent is positive.
+func (s Shape) Valid() bool { return s.N > 0 && s.C > 0 && s.H > 0 && s.W > 0 }
+
+func (s Shape) String() string {
+	return fmt.Sprintf("%dx%dx%dx%d", s.N, s.C, s.H, s.W)
+}
+
+// Eq reports whether two shapes are identical.
+func (s Shape) Eq(o Shape) bool { return s == o }
+
+// Tensor is a dense float32 tensor in NCHW layout. The zero value is not
+// usable; construct with New or Wrap.
+type Tensor struct {
+	shape Shape
+	data  []float32
+}
+
+// New allocates a zeroed tensor of the given shape.
+func New(shape Shape) *Tensor {
+	if !shape.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", shape))
+	}
+	return &Tensor{shape: shape, data: make([]float32, shape.Elems())}
+}
+
+// Wrap builds a tensor around an existing backing slice. The slice length
+// must equal shape.Elems(); the tensor aliases the slice.
+func Wrap(shape Shape, data []float32) *Tensor {
+	if !shape.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", shape))
+	}
+	if len(data) != shape.Elems() {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elems)",
+			len(data), shape, shape.Elems()))
+	}
+	return &Tensor{shape: shape, data: data}
+}
+
+// Shape returns the tensor's shape.
+func (t *Tensor) Shape() Shape { return t.shape }
+
+// Data returns the backing slice in NCHW order. Mutations are visible to
+// the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Index returns the flat offset of element (n, c, h, w).
+func (t *Tensor) Index(n, c, h, w int) int {
+	s := t.shape
+	return ((n*s.C+c)*s.H+h)*s.W + w
+}
+
+// At returns element (n, c, h, w).
+func (t *Tensor) At(n, c, h, w int) float32 { return t.data[t.Index(n, c, h, w)] }
+
+// Set stores v at element (n, c, h, w).
+func (t *Tensor) Set(n, c, h, w int, v float32) { t.data[t.Index(n, c, h, w)] = v }
+
+// Clone returns a deep copy of the tensor.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float32, len(t.data))
+	copy(d, t.data)
+	return &Tensor{shape: t.shape, data: d}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Batch returns a view of the n-th batch element as a {1,C,H,W} tensor
+// sharing storage with t.
+func (t *Tensor) Batch(n int) *Tensor {
+	s := t.shape
+	if n < 0 || n >= s.N {
+		panic(fmt.Sprintf("tensor: batch index %d out of range [0,%d)", n, s.N))
+	}
+	per := s.C * s.H * s.W
+	return &Tensor{
+		shape: Shape{N: 1, C: s.C, H: s.H, W: s.W},
+		data:  t.data[n*per : (n+1)*per],
+	}
+}
+
+// Channel returns a view of channel c of batch element n as a {1,1,H,W}
+// tensor sharing storage with t.
+func (t *Tensor) Channel(n, c int) *Tensor {
+	s := t.shape
+	base := t.Index(n, c, 0, 0)
+	return &Tensor{
+		shape: Shape{N: 1, C: 1, H: s.H, W: s.W},
+		data:  t.data[base : base+s.H*s.W],
+	}
+}
+
+// ArgMax returns the index of the maximum element of the flattened tensor.
+// Ties resolve to the lowest index.
+func (t *Tensor) ArgMax() int {
+	best, bestV := 0, float32(math.Inf(-1))
+	for i, v := range t.data {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Sum returns the sum of all elements in float64 precision.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.data)) }
+
+// Std returns the population standard deviation of all elements.
+func (t *Tensor) Std() float64 {
+	m := t.Mean()
+	var acc float64
+	for _, v := range t.data {
+		d := float64(v) - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(t.data)))
+}
+
+// Min returns the smallest element.
+func (t *Tensor) Min() float32 {
+	m := float32(math.Inf(1))
+	for _, v := range t.data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest element.
+func (t *Tensor) Max() float32 {
+	m := float32(math.Inf(-1))
+	for _, v := range t.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CountNegative returns how many elements are strictly negative.
+func (t *Tensor) CountNegative() int {
+	n := 0
+	for _, v := range t.data {
+		if v < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CountZero returns how many elements are exactly zero (the quantity ReLU
+// produces from negative inputs).
+func (t *Tensor) CountZero() int {
+	n := 0
+	for _, v := range t.data {
+		if v == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AbsDiffMax returns the maximum absolute element-wise difference between
+// t and o, which must have equal shapes.
+func (t *Tensor) AbsDiffMax(o *Tensor) float64 {
+	if !t.shape.Eq(o.shape) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", t.shape, o.shape))
+	}
+	var m float64
+	for i := range t.data {
+		d := math.Abs(float64(t.data[i] - o.data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,203 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeElemsAndValid(t *testing.T) {
+	s := Shape{N: 2, C: 3, H: 4, W: 5}
+	if s.Elems() != 120 {
+		t.Fatalf("elems %d", s.Elems())
+	}
+	if !s.Valid() {
+		t.Fatal("valid shape reported invalid")
+	}
+	if (Shape{N: 0, C: 1, H: 1, W: 1}).Valid() {
+		t.Fatal("zero extent reported valid")
+	}
+	if s.String() != "2x3x4x5" {
+		t.Fatalf("string %q", s.String())
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	tt := New(Shape{N: 2, C: 3, H: 4, W: 5})
+	seen := make(map[int]bool)
+	for n := 0; n < 2; n++ {
+		for c := 0; c < 3; c++ {
+			for h := 0; h < 4; h++ {
+				for w := 0; w < 5; w++ {
+					idx := tt.Index(n, c, h, w)
+					if idx < 0 || idx >= 120 || seen[idx] {
+						t.Fatalf("bad index %d for (%d,%d,%d,%d)", idx, n, c, h, w)
+					}
+					seen[idx] = true
+				}
+			}
+		}
+	}
+}
+
+func TestAtSetCloneIndependence(t *testing.T) {
+	a := New(Shape{N: 1, C: 2, H: 2, W: 2})
+	a.Set(0, 1, 1, 0, 3.5)
+	if a.At(0, 1, 1, 0) != 3.5 {
+		t.Fatal("at/set mismatch")
+	}
+	b := a.Clone()
+	b.Set(0, 1, 1, 0, -1)
+	if a.At(0, 1, 1, 0) != 3.5 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestWrapPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Wrap(Shape{N: 1, C: 1, H: 2, W: 2}, []float32{1, 2, 3})
+}
+
+func TestBatchAndChannelViewsAlias(t *testing.T) {
+	tt := New(Shape{N: 2, C: 3, H: 2, W: 2})
+	FillUniform(tt, NewRNG(3), 0, 1)
+	bv := tt.Batch(1)
+	if bv.Shape() != (Shape{N: 1, C: 3, H: 2, W: 2}) {
+		t.Fatalf("batch view shape %v", bv.Shape())
+	}
+	bv.Set(0, 2, 1, 1, 9)
+	if tt.At(1, 2, 1, 1) != 9 {
+		t.Fatal("batch view does not alias")
+	}
+	cv := tt.Channel(1, 2)
+	if cv.At(0, 0, 1, 1) != 9 {
+		t.Fatal("channel view misaligned")
+	}
+}
+
+func TestStats(t *testing.T) {
+	tt := Wrap(Shape{N: 1, C: 1, H: 2, W: 3}, []float32{-1, 0, 1, 2, 3, -2})
+	if tt.Sum() != 3 {
+		t.Fatalf("sum %g", tt.Sum())
+	}
+	if tt.Mean() != 0.5 {
+		t.Fatalf("mean %g", tt.Mean())
+	}
+	if tt.Min() != -2 || tt.Max() != 3 {
+		t.Fatalf("min/max %g/%g", tt.Min(), tt.Max())
+	}
+	if tt.CountNegative() != 2 {
+		t.Fatalf("neg %d", tt.CountNegative())
+	}
+	if tt.CountZero() != 1 {
+		t.Fatalf("zero %d", tt.CountZero())
+	}
+	if tt.ArgMax() != 4 {
+		t.Fatalf("argmax %d", tt.ArgMax())
+	}
+	want := math.Sqrt((1.5*1.5 + 0.5*0.5 + 0.5*0.5 + 1.5*1.5 + 2.5*2.5 + 2.5*2.5) / 6)
+	if math.Abs(tt.Std()-want) > 1e-9 {
+		t.Fatalf("std %g want %g", tt.Std(), want)
+	}
+}
+
+func TestAbsDiffMax(t *testing.T) {
+	a := Wrap(Shape{N: 1, C: 1, H: 1, W: 3}, []float32{1, 2, 3})
+	b := Wrap(Shape{N: 1, C: 1, H: 1, W: 3}, []float32{1, 0, 4})
+	if d := a.AbsDiffMax(b); d != 2 {
+		t.Fatalf("absdiffmax %g", d)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(7).Uint64() == NewRNG(8).Uint64() {
+		t.Fatal("different seeds collided immediately")
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(5)
+	counts := make([]int, 7)
+	for i := 0; i < 7000; i++ {
+		counts[r.Intn(7)]++
+	}
+	for i, c := range counts {
+		if c < 500 {
+			t.Fatalf("bucket %d severely underfilled: %d", i, c)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	var sum, sq float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("norm mean %g", mean)
+	}
+	if math.Abs(std-1) > 0.05 {
+		t.Fatalf("norm std %g", std)
+	}
+}
+
+func TestFillNorm(t *testing.T) {
+	tt := New(Shape{N: 1, C: 4, H: 32, W: 32})
+	FillNorm(tt, NewRNG(13), 2, 0.5)
+	if m := tt.Mean(); math.Abs(m-2) > 0.05 {
+		t.Fatalf("fill mean %g", m)
+	}
+	if s := tt.Std(); math.Abs(s-0.5) > 0.05 {
+		t.Fatalf("fill std %g", s)
+	}
+}
+
+func TestFillUniform(t *testing.T) {
+	tt := New(Shape{N: 1, C: 1, H: 50, W: 50})
+	FillUniform(tt, NewRNG(17), -1, 3)
+	if tt.Min() < -1 || tt.Max() >= 3 {
+		t.Fatalf("uniform out of range [%g, %g)", tt.Min(), tt.Max())
+	}
+	if m := tt.Mean(); math.Abs(m-1) > 0.1 {
+		t.Fatalf("uniform mean %g", m)
+	}
+}

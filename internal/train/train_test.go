@@ -1,0 +1,122 @@
+package train
+
+import (
+	"testing"
+
+	"snapea/internal/calib"
+	"snapea/internal/dataset"
+	"snapea/internal/models"
+	"snapea/internal/nn"
+	"snapea/internal/tensor"
+)
+
+func TestHeadLearnsLinearlySeparableData(t *testing.T) {
+	// Two classes separated along the first feature dimension.
+	rng := tensor.NewRNG(1)
+	var feats [][]float32
+	var labels []int
+	for i := 0; i < 200; i++ {
+		y := i % 2
+		x := make([]float32, 4)
+		for j := range x {
+			x[j] = float32(rng.Norm() * 0.3)
+		}
+		if y == 1 {
+			x[0] += 2
+		} else {
+			x[0] -= 2
+		}
+		feats = append(feats, x)
+		labels = append(labels, y)
+	}
+	head := nn.NewFC(4, 2, false)
+	TrainHead(head, feats, labels, Config{Epochs: 20})
+	if acc := Accuracy(head, feats, labels); acc < 0.98 {
+		t.Fatalf("separable accuracy %.3f", acc)
+	}
+}
+
+func TestTrainEndToEndOnTinyNet(t *testing.T) {
+	m, err := models.Build("tinynet", models.Options{Seed: 2, Classes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := dataset.Generate(120, dataset.Config{Classes: 4, HW: m.InputShape.H, Seed: 11})
+	imgs := make([]*tensor.Tensor, 8)
+	for i := range imgs {
+		imgs[i] = samples[i].Image
+	}
+	calib.Calibrate(m, imgs)
+
+	trainSet, testSet := dataset.Split(samples, 0.7)
+	trFeats := featuresOf(m, trainSet)
+	trLabels := labelsOf(trainSet)
+	TrainHead(m.Head, trFeats, trLabels, Config{})
+	trainAcc := Accuracy(m.Head, trFeats, trLabels)
+	teFeats := featuresOf(m, testSet)
+	teAcc := Accuracy(m.Head, teFeats, labelsOf(testSet))
+	if trainAcc < 0.7 {
+		t.Fatalf("train accuracy %.3f too low", trainAcc)
+	}
+	if teAcc < 0.5 {
+		t.Fatalf("test accuracy %.3f too low (chance 0.25)", teAcc)
+	}
+}
+
+func featuresOf(m *models.Model, samples []dataset.Sample) [][]float32 {
+	imgs := make([]*tensor.Tensor, len(samples))
+	for i, s := range samples {
+		imgs[i] = s.Image
+	}
+	return Features(m, imgs)
+}
+
+func labelsOf(samples []dataset.Sample) []int {
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		labels[i] = s.Label
+	}
+	return labels
+}
+
+func TestPredictMatchesAccuracy(t *testing.T) {
+	head := nn.NewFC(3, 3, false)
+	// Identity-ish weights: class = argmax feature.
+	for o := 0; o < 3; o++ {
+		head.Weights.Data()[o*3+o] = 1
+	}
+	feats := [][]float32{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	labels := []int{0, 1, 2}
+	for i, f := range feats {
+		if Predict(head, f) != labels[i] {
+			t.Fatalf("predict %v", f)
+		}
+	}
+	if Accuracy(head, feats, labels) != 1 {
+		t.Fatal("accuracy of perfect head != 1")
+	}
+	if Accuracy(head, feats, []int{1, 2, 0}) != 0 {
+		t.Fatal("accuracy of wrong labels != 0")
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	head := nn.NewFC(2, 2, false)
+	if Accuracy(head, nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestTrainDeterminism(t *testing.T) {
+	feats := [][]float32{{1, 2}, {-1, 0}, {0.5, -2}, {2, 2}}
+	labels := []int{0, 1, 1, 0}
+	a := nn.NewFC(2, 2, false)
+	b := nn.NewFC(2, 2, false)
+	TrainHead(a, feats, labels, Config{Seed: 9})
+	TrainHead(b, feats, labels, Config{Seed: 9})
+	for i := range a.Weights.Data() {
+		if a.Weights.Data()[i] != b.Weights.Data()[i] {
+			t.Fatal("training is not deterministic")
+		}
+	}
+}
