@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet fuzz-smoke ci clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz runs over the two binary/JSON loaders — enough to catch
+# regressions in the hardened parsers without an open-ended campaign.
+fuzz-smoke:
+	$(GO) test ./internal/models -run '^$$' -fuzz 'FuzzLoadWeights' -fuzztime 10s
+	$(GO) test ./internal/snapea -run '^$$' -fuzz 'FuzzLoadParams' -fuzztime 10s
+
+# The tier-1+ gate: everything CI runs before a merge.
+ci: vet build race fuzz-smoke
+
+clean:
+	$(GO) clean ./...
+	rm -f snapea-tune.ckpt snapea-bench.ckpt

@@ -5,9 +5,17 @@
 //	snapea-bench -exp fig8
 //	snapea-bench -exp fig11 -nets alexnet,googlenet
 //	snapea-bench -exp all -v
+//	snapea-bench -exp faults -fault-weight-bitflip 1e-4
+//	snapea-bench -exp all -timeout 30m -checkpoint bench.ckpt
+//	snapea-bench -exp all -checkpoint bench.ckpt -resume
 //
 // Known experiments: fig1 fig2 table1 table2 table3 fig8 fig9 fig10
-// table4 table5 fig11 fig12 ablations all.
+// table4 table5 fig11 fig12 ablations pruning sparsity faults all.
+//
+// Batch runs are hardened: a panicking experiment is recorded and the
+// rest continue; SIGINT or -timeout stops between experiments with
+// completed ones checkpointed (use -resume to pick up where the run
+// stopped); the exit status reports partial failure.
 package main
 
 import (
@@ -15,13 +23,15 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"snapea/internal/cli"
 	"snapea/internal/experiments"
 	"snapea/internal/models"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig1 fig2 table1 table2 table3 fig8 fig9 fig10 table4 table5 fig11 fig12 ablations all)")
+	exp := flag.String("exp", "all", "experiment to run (fig1 fig2 table1 table2 table3 fig8 fig9 fig10 table4 table5 fig11 fig12 ablations pruning sparsity faults all)")
 	nets := flag.String("nets", "", "comma-separated networks (default: alexnet,googlenet,squeezenet,vggnet)")
 	scale := flag.String("scale", "reduced", "model scale: reduced or full")
 	eps := flag.Float64("eps", 0.03, "acceptable accuracy loss for the predictive mode")
@@ -30,7 +40,20 @@ func main() {
 	testImgs := flag.Int("test-images", 0, "held-out test images per network (0 = suite default)")
 	optImgs := flag.Int("opt-images", 0, "optimization-set images (0 = suite default)")
 	trainImgs := flag.Int("train-images", 0, "classifier-head training images (0 = suite default)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	ckptPath := flag.String("checkpoint", "snapea-bench.ckpt", "batch checkpoint file for -exp all")
+	resume := flag.Bool("resume", false, "skip experiments the checkpoint records as done")
+	faultFlags := cli.FaultFlags(nil)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	faultCfg, err := faultFlags.Config(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapea-bench:", err)
+		os.Exit(2)
+	}
 
 	cfg := experiments.Config{
 		Seed:        *seed,
@@ -40,6 +63,8 @@ func main() {
 		TestImages:  *testImgs,
 		OptImages:   *optImgs,
 		TrainImages: *trainImgs,
+		Ctx:         ctx,
+		Faults:      faultCfg,
 	}
 	if *scale == "full" {
 		cfg.Scale = models.Full
@@ -49,47 +74,60 @@ func main() {
 	}
 	s := experiments.New(cfg)
 
-	run := map[string]func(){
-		"fig1":   func() { s.Fig1() },
-		"fig2":   func() { s.Fig2() },
-		"table1": func() { s.Table1() },
-		"table2": func() { s.Table2() },
-		"table3": func() { s.Table3() },
-		"fig8":   func() { s.Fig8() },
-		"fig9":   func() { s.Fig9() },
-		"fig10":  func() { s.Fig10() },
-		"table4": func() { s.Table4() },
-		"table5": func() { s.Table5() },
-		"fig11":  func() { s.Fig11() },
-		"fig12":  func() { s.Fig12() },
-		"ablations": func() {
-			s.AblationPrefix()
-			s.AblationNegOrder()
-			s.AblationLaneSync()
-			s.AblationQuantization()
-			s.AblationFC()
-		},
-		"pruning":  func() { s.PruningExperiment() },
-		"sparsity": func() { s.SparsityComparison() },
-		"all": func() {
-			s.RunAll()
-			fmt.Println()
-			s.AblationPrefix()
-			s.AblationNegOrder()
-			s.AblationLaneSync()
-			s.AblationQuantization()
-			s.AblationFC()
-			fmt.Println()
-			s.PruningExperiment()
-			fmt.Println()
-			s.SparsityComparison()
-		},
+	list := s.Experiments()
+	if *exp != "all" {
+		var pick *experiments.NamedExperiment
+		for i := range list {
+			if list[i].Name == *exp {
+				pick = &list[i]
+				break
+			}
+		}
+		if pick == nil {
+			fmt.Fprintf(os.Stderr, "snapea-bench: unknown experiment %q\n", *exp)
+			flag.Usage()
+			os.Exit(2)
+		}
+		list = []experiments.NamedExperiment{*pick}
 	}
-	f, ok := run[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "snapea-bench: unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+
+	var ck *experiments.BenchCheckpoint
+	var save func(*experiments.BenchCheckpoint) error
+	if *exp == "all" {
+		if *resume {
+			ck, err = experiments.LoadBenchCheckpoint(*ckptPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "snapea-bench:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "snapea-bench: resuming, %d experiments already done\n", len(ck.Done))
+		} else {
+			ck = experiments.NewBenchCheckpoint()
+		}
+		save = func(ck *experiments.BenchCheckpoint) error { return ck.Save(*ckptPath) }
 	}
-	f()
+
+	start := time.Now()
+	failures := s.RunList(list, ck, save)
+
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "snapea-bench: interrupted after %s (%v)", time.Since(start).Round(time.Second), err)
+		if ck != nil {
+			fmt.Fprintf(os.Stderr, "; %d experiments checkpointed to %s — rerun with -resume", len(ck.Done), *ckptPath)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(3)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "snapea-bench: %d experiment(s) failed:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s: %v\n", f.Name, f.Err)
+		}
+		os.Exit(1)
+	}
+	// A complete batch owns its checkpoint; remove it so the next run
+	// starts fresh.
+	if *exp == "all" && ck != nil {
+		os.Remove(*ckptPath)
+	}
 }

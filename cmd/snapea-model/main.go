@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 
+	"snapea/internal/cli"
 	"snapea/internal/models"
 	"snapea/internal/nn"
 	"snapea/internal/report"
@@ -20,7 +21,11 @@ func main() {
 	net := flag.String("net", "alexnet", "network (alexnet googlenet squeezenet vggnet lenet tinynet)")
 	scale := flag.String("scale", "full", "reduced or full")
 	classes := flag.Int("classes", 1000, "output classes")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	opt := models.Options{Classes: *classes, SkipInit: true}
 	if *scale == "full" {
@@ -30,6 +35,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snapea-model:", err)
 		os.Exit(2)
+	}
+	if err := ctx.Err(); err != nil {
+		cli.Fatalf("snapea-model", "%v", err)
 	}
 
 	t := report.Table{

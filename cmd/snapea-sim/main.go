@@ -4,6 +4,11 @@
 //
 //	snapea-sim -net squeezenet -mode exact
 //	snapea-sim -net googlenet -mode predictive -eps 0.03 -lanes 2
+//	snapea-sim -net alexnet -fault-weight-bitflip 1e-4 -fault-stuck 1e-3
+//
+// When any -fault-* rate is set the compiled speculation state (weight
+// buffers, Th/N registers) is corrupted by a deterministic injector
+// before tracing, and the faulty machine is what gets simulated.
 package main
 
 import (
@@ -11,9 +16,12 @@ import (
 	"fmt"
 	"os"
 
+	"snapea/internal/cli"
 	"snapea/internal/experiments"
+	"snapea/internal/faults"
 	"snapea/internal/report"
 	"snapea/internal/sim"
+	"snapea/internal/snapea"
 )
 
 func main() {
@@ -23,39 +31,78 @@ func main() {
 	lanes := flag.Float64("lanes", 1, "lane-count factor relative to the default 4 (0.5, 1, 2, 4)")
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	layers := flag.Bool("layers", false, "print per-layer breakdown")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	faultFlags := cli.FaultFlags(nil)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	faultCfg, err := faultFlags.Config(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapea-sim:", err)
+		os.Exit(2)
+	}
 
 	s := experiments.New(experiments.Config{
 		Networks: []string{*net},
 		Seed:     *seed,
 		Epsilon:  *eps,
 		Out:      os.Stderr,
+		Ctx:      ctx,
 	})
 
 	var snap, base *sim.Result
+	var trace *snapea.NetTrace
+	var prep *experiments.Prepared
+	var params map[string]snapea.LayerParams
 	switch *mode {
 	case "exact":
-		r := s.Exact(*net)
-		snap, base = r.Snap, r.Base
+		r, err := s.ExactErr(*net)
+		if err != nil {
+			cli.Fatalf("snapea-sim", "%v", err)
+		}
+		snap, base, trace, prep = r.Snap, r.Base, r.Trace, r.Prep
 	case "predictive":
-		r := s.Predictive(*net, *eps)
-		snap, base = r.Snap, r.Base
+		r, err := s.PredictiveErr(*net, *eps)
+		if err != nil {
+			cli.Fatalf("snapea-sim", "%v", err)
+		}
+		snap, base, trace, prep = r.Snap, r.Base, r.Trace, r.Prep
+		params = r.Opt.Params
 	default:
 		fmt.Fprintf(os.Stderr, "snapea-sim: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+
+	if faultCfg.Enabled() {
+		// Corrupt the compiled machine and re-trace: faults hit the
+		// deployed weight/threshold buffers, not the tuning pipeline.
+		inj := faults.New(faultCfg)
+		faulty := snapea.CompileFaulty(prep.Model, params, snapea.NegByMagnitude, inj)
+		trace = snapea.NewNetTrace()
+		opts := snapea.RunOpts{CollectWindows: true, CollectPrediction: params != nil}
+		for _, img := range prep.TestImgs {
+			if err := ctx.Err(); err != nil {
+				cli.Fatalf("snapea-sim", "%v", err)
+			}
+			faulty.Forward(img, opts, trace)
+		}
+		snap, err = sim.SimulateCtx(ctx, sim.SnaPEAConfig(), sim.LoadsFromTrace(prep.Model, trace, sim.Spills(prep.Model)))
+		if err != nil {
+			cli.Fatalf("snapea-sim", "%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "snapea-sim: injected faults: %s\n", inj.Stats())
+	}
+
 	if *lanes != 1 {
 		// Re-simulate the same trace at a different lane count.
 		cfg := sim.SnaPEAConfig().WithLanes(*lanes)
-		var loads []*sim.LayerLoad
-		if *mode == "exact" {
-			r := s.Exact(*net)
-			loads = sim.LoadsFromTrace(r.Prep.Model, r.Trace, sim.Spills(r.Prep.Model))
-		} else {
-			r := s.Predictive(*net, *eps)
-			loads = sim.LoadsFromTrace(r.Prep.Model, r.Trace, sim.Spills(r.Prep.Model))
+		loads := sim.LoadsFromTrace(prep.Model, trace, sim.Spills(prep.Model))
+		snap, err = sim.SimulateCtx(ctx, cfg, loads)
+		if err != nil {
+			cli.Fatalf("snapea-sim", "%v", err)
 		}
-		snap = sim.Simulate(cfg, loads)
 	}
 
 	fmt.Printf("network   : %s (%s mode)\n", *net, *mode)

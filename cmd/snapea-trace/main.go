@@ -5,6 +5,11 @@
 //
 //	snapea-trace -net googlenet
 //	snapea-trace -net alexnet -hist -buckets 10
+//	snapea-trace -net alexnet -hist -fault-weight-bitflip 1e-4
+//
+// With -fault-* rates set, the histogram trace runs on a machine whose
+// compiled weight buffers were corrupted by a deterministic injector,
+// showing how faults shift the termination distribution.
 package main
 
 import (
@@ -12,7 +17,9 @@ import (
 	"fmt"
 	"os"
 
+	"snapea/internal/cli"
 	"snapea/internal/experiments"
+	"snapea/internal/faults"
 	"snapea/internal/report"
 	"snapea/internal/snapea"
 )
@@ -22,21 +29,44 @@ func main() {
 	seed := flag.Uint64("seed", 42, "deterministic seed")
 	hist := flag.Bool("hist", false, "print per-layer op-count histograms")
 	buckets := flag.Int("buckets", 8, "histogram buckets")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	faultFlags := cli.FaultFlags(nil)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	faultCfg, err := faultFlags.Config(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapea-trace:", err)
+		os.Exit(2)
+	}
 
 	s := experiments.New(experiments.Config{
 		Networks: []string{*net},
 		Seed:     *seed,
 		Out:      os.Stdout,
+		Ctx:      ctx,
 	})
-	stats := s.StopProfile(*net)
+	stats, err := s.StopProfileErr(*net)
+	if err != nil {
+		cli.Fatalf("snapea-trace", "%v", err)
+	}
 	if !*hist {
 		return
 	}
 
 	// Re-trace one image for the histograms.
-	p := s.Prepared(*net)
+	p, err := s.PreparedErr(*net)
+	if err != nil {
+		cli.Fatalf("snapea-trace", "%v", err)
+	}
 	network := snapea.CompileExact(p.Model)
+	if faultCfg.Enabled() {
+		inj := faults.New(faultCfg)
+		network = snapea.CompileFaulty(p.Model, nil, snapea.NegByMagnitude, inj)
+		defer func() { fmt.Fprintf(os.Stderr, "snapea-trace: injected faults: %s\n", inj.Stats()) }()
+	}
 	trace := snapea.NewNetTrace()
 	network.Forward(p.TestImgs[0], snapea.RunOpts{CollectWindows: true}, trace)
 	fmt.Println()

@@ -3,15 +3,25 @@
 // kernel) as JSON — the artifact the accelerator's weight/index buffers
 // are loaded from.
 //
+// The run is cancellable and resumable: SIGINT (or -timeout expiry)
+// stops between optimization stages with the completed work checkpointed,
+// and -resume restarts from the checkpoint and produces results
+// identical to an uninterrupted run.
+//
 //	snapea-tune -net googlenet -eps 0.03 -o params.json
+//	snapea-tune -net vggnet -timeout 10m -checkpoint tune.ckpt
+//	snapea-tune -net vggnet -checkpoint tune.ckpt -resume
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"snapea/internal/calib"
+	"snapea/internal/cli"
 	"snapea/internal/dataset"
 	"snapea/internal/models"
 	"snapea/internal/snapea"
@@ -26,7 +36,21 @@ func main() {
 	out := flag.String("o", "", "output JSON path (default stdout)")
 	optImgs := flag.Int("opt-images", 6, "optimization-set size")
 	verbose := flag.Bool("v", false, "log optimizer progress")
+	timeout := flag.Duration("timeout", 0, "abort (with checkpoint) after this duration (0 = none)")
+	ckptPath := flag.String("checkpoint", "", "checkpoint file (default: <-o path>.ckpt, or snapea-tune.ckpt)")
+	resume := flag.Bool("resume", false, "resume from the checkpoint file")
 	flag.Parse()
+
+	if *ckptPath == "" {
+		if *out != "" {
+			*ckptPath = *out + ".ckpt"
+		} else {
+			*ckptPath = "snapea-tune.ckpt"
+		}
+	}
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	m, err := models.Build(*net, models.Options{Seed: *seed})
 	if err != nil {
@@ -59,22 +83,50 @@ func main() {
 	if *verbose {
 		opt.SetLog(func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) })
 	}
-	res := opt.Run()
+
+	var ck *snapea.OptCheckpoint
+	if *resume {
+		ck, err = snapea.LoadOptCheckpoint(*ckptPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snapea-tune:", err)
+			os.Exit(2)
+		}
+		if err := ck.Compatible(*net, *eps); err != nil {
+			fmt.Fprintln(os.Stderr, "snapea-tune:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "snapea-tune: resuming from %s (%d profiled, %d locally optimized layers)\n",
+			*ckptPath, len(ck.Profiled), len(ck.Local))
+	} else {
+		ck = snapea.NewOptCheckpoint(*net, *eps)
+	}
+	opt.SetCheckpoint(ck, func(ck *snapea.OptCheckpoint) error { return ck.Save(*ckptPath) })
+
+	res, err := opt.RunCtx(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "snapea-tune: interrupted (%v); progress saved to %s — rerun with -resume to finish\n",
+				err, *ckptPath)
+			os.Exit(3)
+		}
+		cli.Fatalf("snapea-tune", "%v", err)
+	}
 
 	file := res.File(*net, *eps)
 	enc, err := file.Marshal()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "snapea-tune:", err)
-		os.Exit(1)
+		cli.Fatalf("snapea-tune", "%v", err)
 	}
 	if *out == "" {
 		fmt.Println(string(enc))
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			cli.Fatalf("snapea-tune", "%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "snapea-tune: wrote %s (%d predictive layers, loss %.3f)\n",
+			*out, len(file.Predictive), res.BaseAcc-res.FinalAcc)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "snapea-tune:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "snapea-tune: wrote %s (%d predictive layers, loss %.3f)\n",
-		*out, len(file.Predictive), res.BaseAcc-res.FinalAcc)
+	// A finished run owns its checkpoint; leaving it behind would make a
+	// later -resume silently reuse stale state.
+	os.Remove(*ckptPath)
 }

@@ -1,0 +1,91 @@
+// Package cli holds the flag and lifecycle plumbing the snapea-* tools
+// share: a signal-aware root context with optional deadline, and the
+// fault-injection flag group, so every tool spells the robustness knobs
+// the same way.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"snapea/internal/faults"
+)
+
+// Context returns the root context for a tool run: it cancels on SIGINT
+// or SIGTERM (first signal cancels gracefully; a second one kills the
+// process via the restored default handler), and — when timeout > 0 —
+// on deadline expiry. Callers must invoke the returned stop function on
+// exit.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() {
+		cancel()
+		stop()
+	}
+}
+
+// FaultFlags registers the -fault-* flag group on fs (the default
+// FlagSet when fs is nil) and returns the group for reading after
+// Parse.
+func FaultFlags(fs *flag.FlagSet) *FaultFlagGroup {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	g := &FaultFlagGroup{}
+	fs.Uint64Var(&g.seed, "fault-seed", 0, "fault-injection seed (0 = derive from -seed)")
+	fs.Float64Var(&g.weightBitFlip, "fault-weight-bitflip", 0, "per-weight bit-flip probability in the weight buffers")
+	fs.Float64Var(&g.actBitFlip, "fault-act-bitflip", 0, "per-activation bit-flip probability per layer output")
+	fs.Float64Var(&g.nanRate, "fault-nan", 0, "per-activation NaN/Inf poisoning probability")
+	fs.Float64Var(&g.stuckZero, "fault-stuck", 0, "per-kernel stuck-at-zero probability (dead lanes)")
+	fs.Float64Var(&g.thJitter, "fault-th-jitter", 0, "Gaussian jitter scale on speculation thresholds")
+	fs.Float64Var(&g.nJitter, "fault-n-jitter", 0, "per-kernel probability of halving/doubling the group count N")
+	return g
+}
+
+// FaultFlagGroup holds the parsed -fault-* values.
+type FaultFlagGroup struct {
+	seed          uint64
+	weightBitFlip float64
+	actBitFlip    float64
+	nanRate       float64
+	stuckZero     float64
+	thJitter      float64
+	nJitter       float64
+}
+
+// Config validates the flags and returns the fault configuration.
+// defaultSeed seeds the injector when -fault-seed is unset, so fault
+// experiments inherit the tool's -seed determinism.
+func (g *FaultFlagGroup) Config(defaultSeed uint64) (faults.Config, error) {
+	cfg := faults.Config{
+		Seed:          g.seed,
+		WeightBitFlip: g.weightBitFlip,
+		ActBitFlip:    g.actBitFlip,
+		NaNRate:       g.nanRate,
+		StuckZero:     g.stuckZero,
+		ThJitter:      g.thJitter,
+		NJitter:       g.nJitter,
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = defaultSeed
+	}
+	if err := cfg.Validate(); err != nil {
+		return faults.Config{}, err
+	}
+	return cfg, nil
+}
+
+// Fatalf prints "tool: message" to stderr and exits with status 1.
+func Fatalf(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, tool+": "+format+"\n", args...)
+	os.Exit(1)
+}

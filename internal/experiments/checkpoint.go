@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// BenchCheckpoint records which experiments of a batch run completed, so
+// an interrupted `snapea-bench` resumes at the first unfinished one. The
+// suite's stage caches rebuild deterministically (same seed → same
+// models, parameters, traces), so a resumed run prints the same numbers
+// the uninterrupted run would have.
+type BenchCheckpoint struct {
+	Version int      `json:"version"`
+	Done    []string `json:"done"`
+}
+
+// BenchCheckpointVersion is the current schema version.
+const BenchCheckpointVersion = 1
+
+// NewBenchCheckpoint returns an empty checkpoint.
+func NewBenchCheckpoint() *BenchCheckpoint {
+	return &BenchCheckpoint{Version: BenchCheckpointVersion}
+}
+
+// LoadBenchCheckpoint reads and validates a checkpoint file.
+func LoadBenchCheckpoint(path string) (*BenchCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: load checkpoint: %w", err)
+	}
+	var ck BenchCheckpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("experiments: parse checkpoint %s: %w", path, err)
+	}
+	if ck.Version != BenchCheckpointVersion {
+		return nil, fmt.Errorf("experiments: checkpoint %s has version %d, want %d", path, ck.Version, BenchCheckpointVersion)
+	}
+	return &ck, nil
+}
+
+// Save writes the checkpoint atomically (temp file + rename).
+func (ck *BenchCheckpoint) Save(path string) error {
+	data, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: marshal checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*")
+	if err != nil {
+		return fmt.Errorf("experiments: save checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: save checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: save checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// IsDone reports whether the named experiment already completed.
+func (ck *BenchCheckpoint) IsDone(name string) bool {
+	for _, d := range ck.Done {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkDone records a completed experiment (idempotent).
+func (ck *BenchCheckpoint) MarkDone(name string) {
+	if !ck.IsDone(name) {
+		ck.Done = append(ck.Done, name)
+	}
+}
+
+// NamedExperiment pairs an experiment's registry name with its runner.
+type NamedExperiment struct {
+	Name string
+	Run  func()
+}
+
+// Experiments returns every experiment in paper order — the body of
+// `snapea-bench -exp all`, exposed as data so batch runners can
+// checkpoint between entries.
+func (s *Suite) Experiments() []NamedExperiment {
+	return []NamedExperiment{
+		{"fig1", func() { s.Fig1() }},
+		{"fig2", func() { s.Fig2() }},
+		{"table1", func() { s.Table1() }},
+		{"table2", func() { s.Table2() }},
+		{"table3", func() { s.Table3() }},
+		{"fig8", func() { s.Fig8() }},
+		{"fig9", func() { s.Fig9() }},
+		{"fig10", func() { s.Fig10() }},
+		{"table4", func() { s.Table4() }},
+		{"table5", func() { s.Table5() }},
+		{"fig11", func() { s.Fig11() }},
+		{"fig12", func() { s.Fig12() }},
+		{"ablations", func() {
+			s.AblationPrefix()
+			s.AblationNegOrder()
+			s.AblationLaneSync()
+			s.AblationQuantization()
+			s.AblationFC()
+		}},
+		{"pruning", func() { s.PruningExperiment() }},
+		{"sparsity", func() { s.SparsityComparison() }},
+		{"faults", func() { s.FaultSweep() }},
+	}
+}
+
+// RunList executes the named experiments in order with panic recovery
+// and optional checkpointing: already-done entries are skipped, each
+// completed entry is marked and saved, and a panicking or aborted
+// experiment is recorded as a Failure without stopping the rest (a
+// cancelled context stops the batch, since every remaining experiment
+// would fail the same way). It returns the failures.
+func (s *Suite) RunList(list []NamedExperiment, ck *BenchCheckpoint, save func(*BenchCheckpoint) error) []Failure {
+	for i, e := range list {
+		if ck != nil && ck.IsDone(e.Name) {
+			s.logf("[skip] %s (checkpointed)", e.Name)
+			continue
+		}
+		if err := s.ctx().Err(); err != nil {
+			return s.Failures()
+		}
+		if i > 0 {
+			s.blank()
+		}
+		if err := s.Safe(e.Name, e.Run); err != nil {
+			if s.ctx().Err() != nil {
+				return s.Failures()
+			}
+			continue
+		}
+		if ck != nil {
+			ck.MarkDone(e.Name)
+			if save != nil {
+				if err := save(ck); err != nil {
+					s.logf("experiments: checkpoint save failed: %v", err)
+				}
+			}
+		}
+	}
+	return s.Failures()
+}

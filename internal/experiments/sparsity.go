@@ -75,12 +75,28 @@ func (s *Suite) SparsityComparison() []SparsityRow {
 }
 
 // StopProfile prints where windows terminate per layer for one network —
-// the distribution view behind Figures 4/5's intuition.
+// the distribution view behind Figures 4/5's intuition. It panics on
+// failure; StopProfileErr is the non-panicking variant.
 func (s *Suite) StopProfile(name string) []snapea.StopStats {
-	p := s.Prepared(name)
+	out, err := s.StopProfileErr(name)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// StopProfileErr is StopProfile with error propagation.
+func (s *Suite) StopProfileErr(name string) ([]snapea.StopStats, error) {
+	p, err := s.PreparedErr(name)
+	if err != nil {
+		return nil, err
+	}
 	net := snapea.CompileExact(p.Model)
 	trace := snapea.NewNetTrace()
 	for _, img := range p.TestImgs[:2] {
+		if err := s.ctx().Err(); err != nil {
+			return nil, err
+		}
 		net.Forward(img, snapea.RunOpts{CollectWindows: true}, trace)
 	}
 	var out []snapea.StopStats
@@ -97,5 +113,5 @@ func (s *Suite) StopProfile(name string) []snapea.StopStats {
 		}
 		t.Render(s.Cfg.Out)
 	}
-	return out
+	return out, nil
 }

@@ -8,12 +8,16 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
 
 	"snapea/internal/calib"
 	"snapea/internal/dataset"
+	"snapea/internal/faults"
 	"snapea/internal/models"
 	"snapea/internal/sim"
 	"snapea/internal/snapea"
@@ -44,6 +48,14 @@ type Config struct {
 	// Out receives rendered tables; nil discards experiment logging
 	// (results are still returned).
 	Out io.Writer
+	// Ctx, when non-nil, aborts pipeline-stage computation on
+	// cancellation or deadline: the stage accessors' Err variants return
+	// the context error, and the panicking accessors propagate it as a
+	// panic the Safe wrapper converts back into a Failure.
+	Ctx context.Context
+	// Faults is the deployment-time fault model FaultSweep scales; the
+	// zero value selects the sweep's built-in baseline rates.
+	Faults faults.Config
 }
 
 func (c Config) normalize() Config {
@@ -74,30 +86,138 @@ func (c Config) normalize() Config {
 	return c
 }
 
+// memo is a per-key compute-once cell. The suite's maps hold one per
+// cached stage key, so two experiments needing different networks
+// compute concurrently while two needing the same stage share one
+// computation.
+type memo[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// getMemo returns (creating if needed) the cell for key. mu guards only
+// the map, never the computation.
+func getMemo[T any](mu *sync.Mutex, m map[string]*memo[T], key string) *memo[T] {
+	mu.Lock()
+	defer mu.Unlock()
+	e, ok := m[key]
+	if !ok {
+		e = &memo[T]{}
+		m[key] = e
+	}
+	return e
+}
+
+// resolve runs the cell's computation once and returns its result. A
+// cell whose computation was aborted by context cancellation is dropped
+// from the map, so a later call (e.g. after resuming with a fresh
+// context) retries instead of returning the stale cancellation.
+func resolve[T any](mu *sync.Mutex, m map[string]*memo[T], key string, e *memo[T], compute func() (T, error)) (T, error) {
+	e.once.Do(func() { e.val, e.err = compute() })
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		mu.Lock()
+		if m[key] == e {
+			delete(m, key)
+		}
+		mu.Unlock()
+	}
+	return e.val, e.err
+}
+
+// Failure records one experiment that panicked or was aborted, so a
+// batch run can report partial results instead of dying on the first
+// broken experiment.
+type Failure struct {
+	Name string
+	Err  error
+}
+
 // Suite runs experiments with shared, cached pipeline results.
 type Suite struct {
 	Cfg Config
 
 	mu       sync.Mutex
-	prepared map[string]*Prepared
-	exact    map[string]*ExactRun
-	pred     map[string]*PredRun
+	prepared map[string]*memo[*Prepared]
+	exact    map[string]*memo[*ExactRun]
+	pred     map[string]*memo[*PredRun]
+
+	failMu   sync.Mutex
+	failures []Failure
 }
 
 // New creates a Suite.
 func New(cfg Config) *Suite {
-	return &Suite{
-		Cfg:      cfg.normalize(),
-		prepared: make(map[string]*Prepared),
-		exact:    make(map[string]*ExactRun),
-		pred:     make(map[string]*PredRun),
+	cfg = cfg.normalize()
+	if cfg.Out != nil {
+		// Serialize all table/log writes so concurrent experiments never
+		// race on the caller's writer (bytes.Buffer is not thread-safe).
+		cfg.Out = &lockedWriter{w: cfg.Out}
 	}
+	return &Suite{
+		Cfg:      cfg,
+		prepared: make(map[string]*memo[*Prepared]),
+		exact:    make(map[string]*memo[*ExactRun]),
+		pred:     make(map[string]*memo[*PredRun]),
+	}
+}
+
+// lockedWriter serializes Write calls.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// ctx returns the configured context, or Background.
+func (s *Suite) ctx() context.Context {
+	if s.Cfg.Ctx != nil {
+		return s.Cfg.Ctx
+	}
+	return context.Background()
 }
 
 func (s *Suite) logf(format string, args ...any) {
 	if s.Cfg.Out != nil {
 		fmt.Fprintf(s.Cfg.Out, format+"\n", args...)
 	}
+}
+
+// Safe runs one experiment with panic recovery: a panicking experiment
+// (bad model name, aborted stage, genuine bug) becomes a recorded
+// Failure instead of killing the whole batch. It returns the failure, or
+// nil on success.
+func (s *Suite) Safe(name string, fn func()) (failure error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err, ok := r.(error)
+			if !ok {
+				err = fmt.Errorf("%v", r)
+			}
+			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				err = fmt.Errorf("%w\n%s", err, debug.Stack())
+			}
+			failure = fmt.Errorf("experiment %s: %w", name, err)
+			s.failMu.Lock()
+			s.failures = append(s.failures, Failure{Name: name, Err: failure})
+			s.failMu.Unlock()
+			s.logf("[FAILED] %s: %v", name, err)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Failures returns the experiments Safe recorded as failed, in order.
+func (s *Suite) Failures() []Failure {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return append([]Failure(nil), s.failures...)
 }
 
 // Prepared is a calibrated model with a trained classifier head and its
@@ -116,16 +236,32 @@ type Prepared struct {
 }
 
 // Prepared builds (or returns the cached) pipeline state for a network.
+// It panics on failure; PreparedErr is the non-panicking variant.
 func (s *Suite) Prepared(name string) *Prepared {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if p, ok := s.prepared[name]; ok {
-		return p
+	p, err := s.PreparedErr(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PreparedErr builds (or returns the cached) pipeline state for a
+// network, propagating build errors and context cancellation.
+func (s *Suite) PreparedErr(name string) (*Prepared, error) {
+	e := getMemo(&s.mu, s.prepared, name)
+	return resolve(&s.mu, s.prepared, name, e, func() (*Prepared, error) {
+		return s.buildPrepared(name)
+	})
+}
+
+func (s *Suite) buildPrepared(name string) (*Prepared, error) {
+	if err := s.ctx().Err(); err != nil {
+		return nil, err
 	}
 	cfg := s.Cfg
 	m, err := models.Build(name, models.Options{Scale: cfg.Scale, Classes: cfg.Classes, Seed: cfg.Seed})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	total := cfg.TrainImages + cfg.CalibImages + cfg.OptImages + cfg.TestImages
 	samples := dataset.Generate(total, dataset.Config{
@@ -139,10 +275,16 @@ func (s *Suite) Prepared(name string) *Prepared {
 	s.logf("[%s] calibrating to %.0f%% negative activations on %d images",
 		name, 100*m.PaperNegFrac, len(calibSet))
 	rep := calib.Calibrate(m, images(calibSet))
+	if err := s.ctx().Err(); err != nil {
+		return nil, err
+	}
 
 	s.logf("[%s] training head on %d images", name, len(trainSet))
 	trFeats := train.Features(m, images(trainSet))
 	train.TrainHead(m.Head, trFeats, labels(trainSet), train.Config{Seed: cfg.Seed, FeatureNoise: 0.05})
+	if err := s.ctx().Err(); err != nil {
+		return nil, err
+	}
 
 	p := &Prepared{
 		Model:     m,
@@ -155,8 +297,7 @@ func (s *Suite) Prepared(name string) *Prepared {
 	p.BaseTestFeats = train.Features(m, p.TestImgs)
 	p.BaseTestAcc = train.Accuracy(m.Head, p.BaseTestFeats, p.TestLbls)
 	s.logf("[%s] base test accuracy %.3f (neg frac %.3f)", name, p.BaseTestAcc, rep.Overall)
-	s.prepared[name] = p
-	return p
+	return p, nil
 }
 
 // ExactRun is the exact-mode evaluation of one network: traced test-set
@@ -169,26 +310,44 @@ type ExactRun struct {
 }
 
 // Exact traces the exact-mode network over the test set and simulates
-// both machines.
+// both machines. It panics on failure; ExactErr is the non-panicking
+// variant.
 func (s *Suite) Exact(name string) *ExactRun {
-	p := s.Prepared(name)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if r, ok := s.exact[name]; ok {
-		return r
+	r, err := s.ExactErr(name)
+	if err != nil {
+		panic(err)
 	}
-	s.logf("[%s] exact-mode trace over %d test images", name, len(p.TestImgs))
-	net := snapea.CompileExact(p.Model)
-	trace := snapea.NewNetTrace()
-	for _, img := range p.TestImgs {
-		net.Forward(img, snapea.RunOpts{CollectWindows: true}, trace)
-	}
-	r := &ExactRun{Prep: p, Trace: trace}
-	spill := sim.Spills(p.Model)
-	r.Snap = sim.Simulate(sim.SnaPEAConfig(), sim.LoadsFromTrace(p.Model, trace, spill))
-	r.Base = sim.Simulate(sim.EyerissConfig(), sim.LoadsDense(p.Model, len(p.TestImgs), spill))
-	s.exact[name] = r
 	return r
+}
+
+// ExactErr is Exact with error propagation.
+func (s *Suite) ExactErr(name string) (*ExactRun, error) {
+	e := getMemo(&s.mu, s.exact, name)
+	return resolve(&s.mu, s.exact, name, e, func() (*ExactRun, error) {
+		p, err := s.PreparedErr(name)
+		if err != nil {
+			return nil, err
+		}
+		ctx := s.ctx()
+		s.logf("[%s] exact-mode trace over %d test images", name, len(p.TestImgs))
+		net := snapea.CompileExact(p.Model)
+		trace := snapea.NewNetTrace()
+		for _, img := range p.TestImgs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			net.Forward(img, snapea.RunOpts{CollectWindows: true}, trace)
+		}
+		r := &ExactRun{Prep: p, Trace: trace}
+		spill := sim.Spills(p.Model)
+		if r.Snap, err = sim.SimulateCtx(ctx, sim.SnaPEAConfig(), sim.LoadsFromTrace(p.Model, trace, spill)); err != nil {
+			return nil, err
+		}
+		if r.Base, err = sim.SimulateCtx(ctx, sim.EyerissConfig(), sim.LoadsDense(p.Model, len(p.TestImgs), spill)); err != nil {
+			return nil, err
+		}
+		return r, nil
+	})
 }
 
 // PredRun is the predictive-mode evaluation of one network at one ε:
@@ -209,48 +368,69 @@ type PredRun struct {
 }
 
 // Predictive runs (or returns the cached) Algorithm 1 result at ε and
-// its downstream evaluation.
+// its downstream evaluation. It panics on failure; PredictiveErr is the
+// non-panicking variant.
 func (s *Suite) Predictive(name string, eps float64) *PredRun {
-	p := s.Prepared(name)
-	key := fmt.Sprintf("%s@%.4f", name, eps)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if r, ok := s.pred[key]; ok {
-		return r
+	r, err := s.PredictiveErr(name, eps)
+	if err != nil {
+		panic(err)
 	}
-	s.logf("[%s] Algorithm 1 at ε=%.1f%% on %d optimization images", name, 100*eps, len(p.OptImgs))
-	net := snapea.CompileExact(p.Model)
-	opt := snapea.NewOptimizer(net, p.Model.Head, p.OptImgs, p.OptLabels, snapea.OptConfig{
-		Epsilon:     eps,
-		NCandidates: []int{2, 4, 8},
-		ThQuantiles: []float64{0.4, 0.6, 0.75},
-		MaxWindows:  128,
-		T:           3,
-		SoftLoss:    true,
-	})
-	if s.Cfg.Verbose && s.Cfg.Out != nil {
-		opt.SetLog(func(f string, a ...any) { fmt.Fprintf(s.Cfg.Out, "  "+f+"\n", a...) })
-	}
-	res := opt.Run()
-
-	trace := snapea.NewNetTrace()
-	feats := make([][]float32, len(p.TestImgs))
-	for i, img := range p.TestImgs {
-		feats[i] = net.Feature(img, snapea.RunOpts{CollectWindows: true, CollectPrediction: true}, trace)
-	}
-	acc := train.Accuracy(p.Model.Head, feats, p.TestLbls)
-	spill := sim.Spills(p.Model)
-	r := &PredRun{
-		Prep: p, Epsilon: eps, Opt: res, Net: net, Trace: trace,
-		Snap:    sim.Simulate(sim.SnaPEAConfig(), sim.LoadsFromTrace(p.Model, trace, spill)),
-		Base:    sim.Simulate(sim.EyerissConfig(), sim.LoadsDense(p.Model, len(p.TestImgs), spill)),
-		TestAcc: acc,
-		AccLoss: p.BaseTestAcc - acc,
-	}
-	s.logf("[%s] ε=%.1f%%: %d/%d layers predictive, test loss %.3f, speedup %.2fx",
-		name, 100*eps, len(res.Predictive), len(res.Params), r.AccLoss, r.Snap.Speedup(r.Base))
-	s.pred[key] = r
 	return r
+}
+
+// PredictiveErr is Predictive with error propagation.
+func (s *Suite) PredictiveErr(name string, eps float64) (*PredRun, error) {
+	key := fmt.Sprintf("%s@%.4f", name, eps)
+	e := getMemo(&s.mu, s.pred, key)
+	return resolve(&s.mu, s.pred, key, e, func() (*PredRun, error) {
+		p, err := s.PreparedErr(name)
+		if err != nil {
+			return nil, err
+		}
+		ctx := s.ctx()
+		s.logf("[%s] Algorithm 1 at ε=%.1f%% on %d optimization images", name, 100*eps, len(p.OptImgs))
+		net := snapea.CompileExact(p.Model)
+		opt := snapea.NewOptimizer(net, p.Model.Head, p.OptImgs, p.OptLabels, snapea.OptConfig{
+			Epsilon:     eps,
+			NCandidates: []int{2, 4, 8},
+			ThQuantiles: []float64{0.4, 0.6, 0.75},
+			MaxWindows:  128,
+			T:           3,
+			SoftLoss:    true,
+		})
+		if s.Cfg.Verbose && s.Cfg.Out != nil {
+			opt.SetLog(func(f string, a ...any) { fmt.Fprintf(s.Cfg.Out, "  "+f+"\n", a...) })
+		}
+		res, err := opt.RunCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+
+		trace := snapea.NewNetTrace()
+		feats := make([][]float32, len(p.TestImgs))
+		for i, img := range p.TestImgs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			feats[i] = net.Feature(img, snapea.RunOpts{CollectWindows: true, CollectPrediction: true}, trace)
+		}
+		acc := train.Accuracy(p.Model.Head, feats, p.TestLbls)
+		spill := sim.Spills(p.Model)
+		r := &PredRun{
+			Prep: p, Epsilon: eps, Opt: res, Net: net, Trace: trace,
+			TestAcc: acc,
+			AccLoss: p.BaseTestAcc - acc,
+		}
+		if r.Snap, err = sim.SimulateCtx(ctx, sim.SnaPEAConfig(), sim.LoadsFromTrace(p.Model, trace, spill)); err != nil {
+			return nil, err
+		}
+		if r.Base, err = sim.SimulateCtx(ctx, sim.EyerissConfig(), sim.LoadsDense(p.Model, len(p.TestImgs), spill)); err != nil {
+			return nil, err
+		}
+		s.logf("[%s] ε=%.1f%%: %d/%d layers predictive, test loss %.3f, speedup %.2fx",
+			name, 100*eps, len(res.Predictive), len(res.Params), r.AccLoss, r.Snap.Speedup(r.Base))
+		return r, nil
+	})
 }
 
 func images(samples []dataset.Sample) []*tensor.Tensor {

@@ -1,0 +1,153 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDisabledInjectorIsNil(t *testing.T) {
+	if New(Config{}) != nil {
+		t.Fatal("zero config must yield a nil injector")
+	}
+	var in *Injector
+	w := []float32{1, 2, 3}
+	if n := in.FlipWeightBits("x", w); n != 0 {
+		t.Fatalf("nil injector flipped %d bits", n)
+	}
+	if n := in.CorruptActivations("x", w); n != 0 {
+		t.Fatalf("nil injector corrupted %d activations", n)
+	}
+	if s := in.StuckKernels("x", 8); s != nil {
+		t.Fatalf("nil injector stuck kernels %v", s)
+	}
+	if th := in.JitterTh("x", 0, 1.5); th != 1.5 {
+		t.Fatalf("nil injector moved th to %v", th)
+	}
+	if n := in.JitterN("x", 0, 4); n != 4 {
+		t.Fatalf("nil injector moved n to %v", n)
+	}
+	if in.Stats().Total() != 0 {
+		t.Fatal("nil injector has stats")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, WeightBitFlip: 0.05, ActBitFlip: 0.02, NaNRate: 0.01, StuckZero: 0.1, ThJitter: 0.2, NJitter: 0.5}
+	run := func() ([]float32, []float32, []int, float32, int) {
+		in := New(cfg)
+		w := make([]float32, 256)
+		a := make([]float32, 256)
+		for i := range w {
+			w[i] = float32(i) * 0.01
+			a[i] = float32(i) * 0.02
+		}
+		in.FlipWeightBits("conv1/k0", w)
+		in.CorruptActivations("conv1#0", a)
+		return w, a, in.StuckKernels("conv1", 64), in.JitterTh("conv1", 3, 0.5), in.JitterN("conv1", 3, 4)
+	}
+	w1, a1, s1, th1, n1 := run()
+	w2, a2, s2, th2, n2 := run()
+	for i := range w1 {
+		if math.Float32bits(w1[i]) != math.Float32bits(w2[i]) {
+			t.Fatalf("weight %d differs across identical runs", i)
+		}
+		if math.Float32bits(a1[i]) != math.Float32bits(a2[i]) {
+			t.Fatalf("activation %d differs across identical runs", i)
+		}
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("stuck sets differ: %v vs %v", s1, s2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("stuck sets differ: %v vs %v", s1, s2)
+		}
+	}
+	if th1 != th2 || n1 != n2 {
+		t.Fatalf("param jitter differs: (%v,%v) vs (%v,%v)", th1, n1, th2, n2)
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	cfg := Config{Seed: 1, WeightBitFlip: 0.5}
+	in := New(cfg)
+	w1 := make([]float32, 128)
+	w2 := make([]float32, 128)
+	in.FlipWeightBits("conv1/k0", w1)
+	in.FlipWeightBits("conv2/k0", w2)
+	same := true
+	for i := range w1 {
+		if math.Float32bits(w1[i]) != math.Float32bits(w2[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct sites produced identical fault patterns")
+	}
+}
+
+func TestRatesRoughlyHold(t *testing.T) {
+	in := New(Config{Seed: 3, WeightBitFlip: 0.1})
+	w := make([]float32, 20000)
+	flips := in.FlipWeightBits("big", w)
+	if flips < 1600 || flips > 2400 {
+		t.Fatalf("rate 0.1 over 20000 elements flipped %d bits (want ≈2000)", flips)
+	}
+	if got := in.Stats().WeightBits; got != int64(flips) {
+		t.Fatalf("stats %d != returned %d", got, flips)
+	}
+}
+
+func TestNaNPoisoning(t *testing.T) {
+	in := New(Config{Seed: 9, NaNRate: 0.2})
+	a := make([]float32, 1000)
+	n := in.CorruptActivations("act", a)
+	if n == 0 {
+		t.Fatal("no activations poisoned at rate 0.2")
+	}
+	bad := 0
+	for _, v := range a {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			bad++
+		}
+	}
+	if bad != n {
+		t.Fatalf("%d non-finite values for %d reported poisons", bad, n)
+	}
+}
+
+func TestScaleAndValidate(t *testing.T) {
+	c := Config{WeightBitFlip: 0.1, ActBitFlip: 0.2}.Scale(0.5)
+	if c.WeightBitFlip != 0.05 || c.ActBitFlip != 0.1 {
+		t.Fatalf("scale wrong: %+v", c)
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config enabled")
+	}
+	if !c.Enabled() {
+		t.Fatal("scaled config disabled")
+	}
+	if err := (Config{WeightBitFlip: -1}).Validate(); err == nil {
+		t.Fatal("negative rate validated")
+	}
+	if err := (Config{NaNRate: 1.5}).Validate(); err == nil {
+		t.Fatal("rate > 1 validated")
+	}
+	if err := (Config{ThJitter: math.Inf(1)}).Validate(); err == nil {
+		t.Fatal("infinite jitter validated")
+	}
+}
+
+func TestJitterNBounds(t *testing.T) {
+	in := New(Config{Seed: 5, NJitter: 1})
+	for k := 0; k < 32; k++ {
+		n := in.JitterN("layer", k, 1)
+		if n != 1 && n != 2 {
+			t.Fatalf("jitter of n=1 gave %d", n)
+		}
+	}
+	if in.JitterN("layer", 0, 0) != 0 {
+		t.Fatal("exact kernel (n=0) must not be jittered")
+	}
+}

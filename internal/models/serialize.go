@@ -113,6 +113,11 @@ func (m *Model) LoadWeights(r io.Reader) error {
 			return fmt.Errorf("models: %s bias: %w", l.name, err)
 		}
 	}
+	// A well-formed stream ends exactly here; trailing bytes mean the
+	// file does not match the model (or was concatenated/corrupted).
+	if _, err := br.ReadByte(); err != io.EOF {
+		return fmt.Errorf("models: trailing data after last layer")
+	}
 	return nil
 }
 
@@ -156,15 +161,24 @@ func readFloats(r io.Reader, dst []float32) error {
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return err
 	}
-	if int(n) != len(dst) {
+	// Compare in uint64 so a forged count cannot wrap int on 32-bit
+	// builds; the buffer below is sized from the model, never from n.
+	if n != uint64(len(dst)) {
 		return fmt.Errorf("expected %d values, stream has %d", len(dst), n)
 	}
 	buf := make([]byte, 4*len(dst))
 	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			return fmt.Errorf("truncated stream: %w", err)
+		}
 		return err
 	}
 	for i := range dst {
-		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		v := math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("non-finite value at index %d", i)
+		}
+		dst[i] = v
 	}
 	return nil
 }

@@ -98,6 +98,34 @@ func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 // F formats a float with the given precision.
 func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
 
+// Spark renders a series as a unicode sparkline ("▁▃▆█"), scaled to the
+// series' own min..max. NaN/Inf values render as a space. The fault
+// sweep uses it to show accuracy-degradation curves inline.
+func Spark(vals []float64) string {
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			out[i] = ' '
+		case hi == lo:
+			out[i] = ramp[len(ramp)/2]
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+			out[i] = ramp[idx]
+		}
+	}
+	return string(out)
+}
+
 // Bar renders a labelled horizontal bar scaled against max.
 func Bar(label string, value, max float64, width int) string {
 	if max <= 0 {

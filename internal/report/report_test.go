@@ -97,3 +97,20 @@ func TestBar(t *testing.T) {
 		t.Fatal("overflow must clamp")
 	}
 }
+
+func TestSpark(t *testing.T) {
+	if s := Spark([]float64{0, 1, 2, 3}); len([]rune(s)) != 4 {
+		t.Fatalf("spark length %q", s)
+	} else if []rune(s)[0] != '▁' || []rune(s)[3] != '█' {
+		t.Fatalf("spark ramp wrong: %q", s)
+	}
+	if s := Spark([]float64{5, 5, 5}); s != "▅▅▅" {
+		t.Fatalf("flat series: %q", s)
+	}
+	if s := Spark([]float64{1, math.NaN(), 2}); []rune(s)[1] != ' ' {
+		t.Fatalf("NaN cell: %q", s)
+	}
+	if s := Spark(nil); s != "" {
+		t.Fatalf("empty series: %q", s)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -94,15 +95,29 @@ func (r *Result) TimeMS() float64 {
 
 // Simulate runs the cycle model over all layers.
 func Simulate(cfg Config, loads []*LayerLoad) *Result {
+	res, err := SimulateCtx(context.Background(), cfg, loads)
+	if err != nil {
+		panic(err) // Background never cancels
+	}
+	return res
+}
+
+// SimulateCtx is Simulate under a context: cancellation or deadline
+// expiry aborts between layers (large models at full scale simulate for
+// a long time) and returns the context's error.
+func SimulateCtx(ctx context.Context, cfg Config, loads []*LayerLoad) (*Result, error) {
 	res := &Result{Config: cfg}
 	for _, l := range loads {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lr := simulateLayer(cfg, l)
 		res.Layers = append(res.Layers, lr)
 		res.Cycles += lr.Cycles
 		res.MACs += lr.MACs
 		res.Energy.add(lr.Energy)
 	}
-	return res
+	return res, nil
 }
 
 // Speedup returns base.Cycles / r.Cycles.

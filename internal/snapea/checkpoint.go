@@ -1,0 +1,122 @@
+package snapea
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// OptCheckpoint is the resumable state of Algorithm 1. The optimizer
+// records each finished unit of work — a profiled layer, a locally
+// optimized layer — so an interrupted run (SIGINT, timeout) restarts
+// exactly where it left off. Every pass of the optimizer is
+// deterministic given the same inputs, so a resumed run produces results
+// identical to an uninterrupted one.
+//
+// The file is indented JSON: {version, network, epsilon, profiled:
+// {node: [[candidates...] per kernel]}, local: {node: [choices...]}}.
+type OptCheckpoint struct {
+	Version int     `json:"version"`
+	Network string  `json:"network,omitempty"`
+	Epsilon float64 `json:"epsilon"`
+	// Profiled holds the kernel-profiling pass output for completed
+	// nodes (the paper's ParamK).
+	Profiled map[string][][]Candidate `json:"profiled,omitempty"`
+	// Local holds the local-optimization pass output for completed
+	// nodes (the paper's ParamL). Only meaningful once Profiled covers
+	// every layer.
+	Local map[string][]LayerChoice `json:"local,omitempty"`
+}
+
+// OptCheckpointVersion is the current checkpoint schema version.
+const OptCheckpointVersion = 1
+
+// NewOptCheckpoint returns an empty checkpoint for one (network, ε) run.
+func NewOptCheckpoint(network string, eps float64) *OptCheckpoint {
+	return &OptCheckpoint{
+		Version:  OptCheckpointVersion,
+		Network:  network,
+		Epsilon:  eps,
+		Profiled: make(map[string][][]Candidate),
+		Local:    make(map[string][]LayerChoice),
+	}
+}
+
+// LoadOptCheckpoint reads and validates a checkpoint file.
+func LoadOptCheckpoint(path string) (*OptCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapea: load checkpoint: %w", err)
+	}
+	var ck OptCheckpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("snapea: parse checkpoint %s: %w", path, err)
+	}
+	if ck.Version != OptCheckpointVersion {
+		return nil, fmt.Errorf("snapea: checkpoint %s has version %d, want %d", path, ck.Version, OptCheckpointVersion)
+	}
+	if math.IsNaN(ck.Epsilon) || math.IsInf(ck.Epsilon, 0) || ck.Epsilon < 0 {
+		return nil, fmt.Errorf("snapea: checkpoint %s has invalid epsilon %v", path, ck.Epsilon)
+	}
+	for node, kands := range ck.Profiled {
+		for k, list := range kands {
+			for i, c := range list {
+				if c.Param.N < 0 || c.Param.N > MaxN {
+					return nil, fmt.Errorf("snapea: checkpoint %s: %s kernel %d candidate %d has N=%d out of range", path, node, k, i, c.Param.N)
+				}
+				if math.IsNaN(float64(c.Param.Th)) || math.IsInf(float64(c.Param.Th), 0) {
+					return nil, fmt.Errorf("snapea: checkpoint %s: %s kernel %d candidate %d has non-finite Th", path, node, k, i)
+				}
+			}
+		}
+	}
+	if ck.Profiled == nil {
+		ck.Profiled = make(map[string][][]Candidate)
+	}
+	if ck.Local == nil {
+		ck.Local = make(map[string][]LayerChoice)
+	}
+	return &ck, nil
+}
+
+// Save writes the checkpoint atomically (temp file + rename), so a crash
+// mid-write never corrupts an existing checkpoint.
+func (ck *OptCheckpoint) Save(path string) error {
+	data, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapea: marshal checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("snapea: save checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapea: save checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapea: save checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapea: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Compatible reports whether the checkpoint belongs to the given
+// (network, ε) run; resuming with a mismatched checkpoint would silently
+// blend two different optimizations.
+func (ck *OptCheckpoint) Compatible(network string, eps float64) error {
+	if ck.Network != "" && network != "" && ck.Network != network {
+		return fmt.Errorf("snapea: checkpoint is for network %q, run is %q", ck.Network, network)
+	}
+	if ck.Epsilon != eps {
+		return fmt.Errorf("snapea: checkpoint is for ε=%v, run is ε=%v", ck.Epsilon, eps)
+	}
+	return nil
+}

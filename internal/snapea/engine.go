@@ -2,9 +2,12 @@ package snapea
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"snapea/internal/faults"
 	"snapea/internal/nn"
 	"snapea/internal/tensor"
 )
@@ -73,6 +76,9 @@ type compiledKernel struct {
 	th         float32
 	bias       float32
 	cBase      int32 // first input channel of this kernel's group
+	// stuck marks a kernel whose compute lane is dead (fault injection):
+	// every window outputs zero and executes no MACs.
+	stuck bool
 }
 
 // LayerPlan is a convolution layer compiled for SnaPEA execution at a
@@ -88,17 +94,48 @@ type LayerPlan struct {
 	outH    int
 	outW    int
 	kernels []compiledKernel
+
+	// faults is the optional injector corrupting this plan's activation
+	// outputs at run time; nil (the common case) costs one pointer test
+	// per Run. Weight/parameter faults are materialized at compile time.
+	faults *faults.Injector
+	// runSeq numbers this plan's Run invocations so each execution draws
+	// activation faults from its own deterministic site.
+	runSeq atomic.Int64
 }
 
 // NewLayerPlan reorders and compiles every kernel of conv for inputs of
 // the given shape. params may be nil (all kernels exact) or must have
 // one entry per output channel.
 func NewLayerPlan(node string, conv *nn.Conv2D, inShape tensor.Shape, params LayerParams, negOrder NegOrder) *LayerPlan {
+	return NewLayerPlanFaulty(node, conv, inShape, params, negOrder, nil)
+}
+
+// NewLayerPlanFaulty compiles a layer plan with fault injection: the
+// injector perturbs the speculation parameters (Th, N) before
+// reordering — modeling parameter-SRAM corruption — then flips bits in
+// the compiled weight buffer (the accelerator's weight SRAM holds the
+// *reordered* weights, so flips land after reordering and can break the
+// positive/negative monotonicity the early-termination proof relies on,
+// which is exactly the failure mode the fault sweep measures) and marks
+// stuck-at-zero kernels. A nil injector compiles a clean plan.
+func NewLayerPlanFaulty(node string, conv *nn.Conv2D, inShape tensor.Shape, params LayerParams, negOrder NegOrder, inj *faults.Injector) *LayerPlan {
 	if params == nil {
 		params = AllExact(conv.OutC)
 	}
 	if len(params) != conv.OutC {
 		panic(fmt.Sprintf("snapea: %s: %d params for %d kernels", node, len(params), conv.OutC))
+	}
+	if inj != nil {
+		perturbed := append(LayerParams(nil), params...)
+		for k := range perturbed {
+			if perturbed[k].IsExact() {
+				continue
+			}
+			perturbed[k].Th = inj.JitterTh(node, k, perturbed[k].Th)
+			perturbed[k].N = inj.JitterN(node, k, perturbed[k].N)
+		}
+		params = perturbed
 	}
 	os := conv.OutShape([]tensor.Shape{{N: 1, C: inShape.C, H: inShape.H, W: inShape.W}})
 	p := &LayerPlan{
@@ -131,7 +168,16 @@ func NewLayerPlan(node string, conv *nn.Conv2D, inShape tensor.Shape, params Lay
 			ck.ci[i], ck.ky[i], ck.kx[i] = ci, ky, kx
 			ck.offs[i] = ci*plane + ky*int32(inShape.W) + kx
 		}
+		if inj != nil {
+			inj.FlipWeightBits(fmt.Sprintf("%s/k%d", node, k), ck.w)
+		}
 		p.kernels[k] = ck
+	}
+	if inj != nil {
+		for _, k := range inj.StuckKernels(node, conv.OutC) {
+			p.kernels[k].stuck = true
+		}
+		p.faults = inj
 	}
 	return p
 }
@@ -196,12 +242,52 @@ func (p *LayerPlan) Run(in *tensor.Tensor, opts RunOpts) (*tensor.Tensor, *Layer
 		tr.SpecTN += stats[i].SpecTN
 		tr.SpecFN += stats[i].SpecFN
 	}
+	if p.faults != nil {
+		seq := p.runSeq.Add(1) - 1
+		p.faults.CorruptActivations(fmt.Sprintf("%s#%d", p.Node, seq), out.Data())
+	}
 	return out, tr
+}
+
+// RunChecked is Run behind the validation the hardened pipeline needs:
+// shape mismatches become errors instead of panics, and non-finite
+// inputs are rejected. Rejecting (rather than executing) non-finite
+// inputs is deliberate: sign-based early termination returns zero the
+// moment a partial sum goes negative, so a NaN or ±Inf contribution
+// later in the window could have changed the full IEEE sum — the exact
+// mode would silently diverge from the dense reference. See the
+// engine's NaN-guard tests.
+func (p *LayerPlan) RunChecked(in *tensor.Tensor, opts RunOpts) (*tensor.Tensor, *LayerTrace, error) {
+	s := in.Shape()
+	if s.C != p.inShape.C || s.H != p.inShape.H || s.W != p.inShape.W {
+		return nil, nil, fmt.Errorf("snapea: %s compiled for %v, got %v", p.Node, p.inShape, s)
+	}
+	if i := firstNonFinite(in.Data()); i >= 0 {
+		return nil, nil, fmt.Errorf("snapea: %s: non-finite input at element %d (%v): early termination is undefined on non-finite partial sums; sanitize the input or use the dense nn path", p.Node, i, in.Data()[i])
+	}
+	out, tr := p.Run(in, opts)
+	return out, tr, nil
+}
+
+// firstNonFinite returns the index of the first NaN or ±Inf, or -1.
+func firstNonFinite(d []float32) int {
+	for i, v := range d {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return i
+		}
+	}
+	return -1
 }
 
 // runKernel computes all windows of output channel k for batch element n.
 func (p *LayerPlan) runKernel(n, k int, in, out *tensor.Tensor, tr, st *LayerTrace, opts RunOpts) {
 	ck := &p.kernels[k]
+	if ck.stuck {
+		// Dead lane: outputs stay zero (out is zero-initialized) and no
+		// MACs execute.
+		return
+	}
 	conv := p.Conv
 	s := in.Shape()
 	ind := in.Data()

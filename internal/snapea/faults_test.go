@@ -1,0 +1,138 @@
+package snapea
+
+import (
+	"math"
+	"testing"
+
+	"snapea/internal/faults"
+	"snapea/internal/tensor"
+)
+
+// faultFixture builds the first conv plan of the tiny test model plus a
+// matching non-negative input, and returns a recompile helper.
+func faultFixture(t *testing.T) (*tensor.Tensor, *LayerPlan, func(inj *faults.Injector, params LayerParams) *LayerPlan) {
+	t.Helper()
+	m := buildTestModel(t)
+	net := CompileExact(m)
+	plan := net.Plans[net.PlanOrder[0]]
+	in := tensor.New(tensor.Shape{N: 1, C: plan.inShape.C, H: plan.inShape.H, W: plan.inShape.W})
+	r := tensor.NewRNG(5)
+	d := in.Data()
+	for i := range d {
+		d[i] = float32(r.Float64()) // non-negative, like post-ReLU activations
+	}
+	mk := func(inj *faults.Injector, params LayerParams) *LayerPlan {
+		return NewLayerPlanFaulty(plan.Node, plan.Conv, plan.inShape, params, NegByMagnitude, inj)
+	}
+	return in, plan, mk
+}
+
+func TestFaultyPlanDeterministic(t *testing.T) {
+	in, _, mk := faultFixture(t)
+	cfg := faults.Config{Seed: 11, WeightBitFlip: 0.01, ActBitFlip: 0.005, StuckZero: 0.1, NaNRate: 0.001}
+	run := func() []float32 {
+		p := mk(faults.New(cfg), nil)
+		out, _ := p.Run(in, RunOpts{})
+		return out.Data()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			t.Fatalf("faulty runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNilInjectorMatchesClean(t *testing.T) {
+	in, _, mk := faultFixture(t)
+	clean := mk(nil, nil)
+	faulty := mk(faults.New(faults.Config{}), nil) // disabled config → nil injector
+	a, _ := clean.Run(in, RunOpts{})
+	b, _ := faulty.Run(in, RunOpts{})
+	for i, v := range a.Data() {
+		if v != b.Data()[i] {
+			t.Fatalf("disabled faults changed output at %d", i)
+		}
+	}
+}
+
+func TestStuckKernelsZeroOutput(t *testing.T) {
+	in, _, mk := faultFixture(t)
+	p := mk(faults.New(faults.Config{Seed: 3, StuckZero: 1}), nil) // every kernel dead
+	out, tr := p.Run(in, RunOpts{})
+	for i, v := range out.Data() {
+		if v != 0 {
+			t.Fatalf("stuck kernel produced non-zero output at %d: %v", i, v)
+		}
+	}
+	if tr.TotalOps != 0 {
+		t.Fatalf("dead lanes executed %d MACs", tr.TotalOps)
+	}
+}
+
+func TestWeightFaultsLeaveModelUntouched(t *testing.T) {
+	_, plan, mk := faultFixture(t)
+	before := append([]float32(nil), plan.Conv.Weights.Data()...)
+	mk(faults.New(faults.Config{Seed: 1, WeightBitFlip: 0.5, StuckZero: 0.5}), nil)
+	after := plan.Conv.Weights.Data()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("fault injection corrupted the model's own weights at %d", i)
+		}
+	}
+}
+
+func TestParamJitterOnlyTouchesSpeculativeKernels(t *testing.T) {
+	_, _, mk := faultFixture(t)
+	inj := faults.New(faults.Config{Seed: 9, ThJitter: 0.5, NJitter: 1})
+	exact := mk(inj, nil) // all-exact params: nothing to jitter
+	for k := range exact.kernels {
+		if exact.kernels[k].numSpec != 0 {
+			t.Fatalf("exact kernel %d gained a speculation prefix under jitter", k)
+		}
+	}
+	if s := inj.Stats(); s.ThPerturbed != 0 && s.NPerturbed != 0 {
+		t.Fatalf("jitter stats on an all-exact layer: %v", s)
+	}
+}
+
+func TestActivationFaultsChangeOutput(t *testing.T) {
+	in, _, mk := faultFixture(t)
+	clean := mk(nil, nil)
+	inj := faults.New(faults.Config{Seed: 2, NaNRate: 0.05})
+	faulty := mk(inj, nil)
+	a, _ := clean.Run(in, RunOpts{})
+	b, _ := faulty.Run(in, RunOpts{})
+	diff := 0
+	for i := range a.Data() {
+		av, bv := a.Data()[i], b.Data()[i]
+		if av != bv && !(math.IsNaN(float64(av)) && math.IsNaN(float64(bv))) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("NaN poisoning at 5% left the output identical")
+	}
+	if inj.Stats().NaNs == 0 {
+		t.Fatal("no NaN injections recorded")
+	}
+}
+
+func TestCompileFaultyNetworkRuns(t *testing.T) {
+	m := buildTestModel(t)
+	inj := faults.New(faults.Config{Seed: 4, WeightBitFlip: 0.001, ActBitFlip: 0.0005})
+	net := CompileFaulty(m, nil, NegByMagnitude, inj)
+	if net.Faults != inj {
+		t.Fatal("network did not retain its injector")
+	}
+	img := tensor.New(m.InputShape)
+	r := tensor.NewRNG(7)
+	for i, d := 0, img.Data(); i < len(d); i++ {
+		d[i] = float32(r.Float64())
+	}
+	tr := NewNetTrace()
+	out := net.Forward(img, RunOpts{}, tr)
+	if out == nil || len(tr.Layers) == 0 {
+		t.Fatal("faulty network did not execute")
+	}
+}

@@ -1,6 +1,9 @@
 package snapea
 
 import (
+	"fmt"
+
+	"snapea/internal/faults"
 	"snapea/internal/models"
 	"snapea/internal/nn"
 	"snapea/internal/tensor"
@@ -19,6 +22,9 @@ type Network struct {
 	// FCPlans holds exact early-termination plans for ReLU-fused FC
 	// layers; nil unless EnableFC was called.
 	FCPlans map[string]*FCPlan
+	// Faults is the injector the network was compiled with; nil for a
+	// clean network.
+	Faults *faults.Injector
 }
 
 // Compile builds a Network. params maps conv node names to per-kernel
@@ -27,10 +33,22 @@ type Network struct {
 // unknown names are simply ignored so callers can reuse parameter maps
 // across scales.
 func Compile(m *models.Model, params map[string]LayerParams, negOrder NegOrder) *Network {
+	return CompileFaulty(m, params, negOrder, nil)
+}
+
+// CompileFaulty builds a Network whose compiled state carries injected
+// faults: weight-buffer bit flips, stuck-at-zero kernels, and (Th, N)
+// perturbation at compile time, plus activation corruption on every
+// layer execution. A nil injector compiles a clean network; the model's
+// own parameters (its "DRAM copy") are never modified — faults live
+// only in the compiled per-kernel buffers, mirroring SRAM soft errors
+// in the accelerator.
+func CompileFaulty(m *models.Model, params map[string]LayerParams, negOrder NegOrder, inj *faults.Injector) *Network {
 	net := &Network{
 		Model:    m,
 		NegOrder: negOrder,
 		Plans:    make(map[string]*LayerPlan),
+		Faults:   inj,
 	}
 	shapes := map[string]tensor.Shape{nn.InputName: m.InputShape}
 	for _, n := range m.Graph.Nodes() {
@@ -47,7 +65,7 @@ func Compile(m *models.Model, params map[string]LayerParams, negOrder NegOrder) 
 		if params != nil {
 			p = params[n.Name]
 		}
-		net.Plans[n.Name] = NewLayerPlan(n.Name, conv, ins[0], p, negOrder)
+		net.Plans[n.Name] = NewLayerPlanFaulty(n.Name, conv, ins[0], p, negOrder, inj)
 		net.PlanOrder = append(net.PlanOrder, n.Name)
 	}
 	return net
@@ -55,6 +73,48 @@ func Compile(m *models.Model, params map[string]LayerParams, negOrder NegOrder) 
 
 // CompileExact compiles every convolution in exact mode.
 func CompileExact(m *models.Model) *Network { return Compile(m, nil, NegByMagnitude) }
+
+// CompileParams validates a parameters file against a model and compiles
+// the network it describes, returning errors (not panics) on unknown
+// layer names, kernel-count mismatches, out-of-range N, or non-finite
+// thresholds — the hardened path for loading externally produced files.
+func CompileParams(m *models.Model, f *ParamsFile, negOrder NegOrder) (*Network, error) {
+	if err := f.Check(m); err != nil {
+		return nil, err
+	}
+	params := make(map[string]LayerParams, len(f.Layers))
+	for node, p := range f.Layers {
+		params[node] = p
+	}
+	return Compile(m, params, negOrder), nil
+}
+
+// Check validates a parameters file against a concrete model: every
+// named layer must exist as a ReLU-fused convolution, carry exactly one
+// parameter per output channel, and keep N below the kernel size.
+func (f *ParamsFile) Check(m *models.Model) error {
+	convs := make(map[string]*nn.Conv2D)
+	for _, n := range m.Graph.Nodes() {
+		if conv, ok := n.Layer.(*nn.Conv2D); ok && conv.ReLU {
+			convs[n.Name] = conv
+		}
+	}
+	for node, params := range f.Layers {
+		conv, ok := convs[node]
+		if !ok {
+			return fmt.Errorf("snapea: params layer %q does not name a ReLU convolution of %s", node, m.Name)
+		}
+		if len(params) != conv.OutC {
+			return fmt.Errorf("snapea: %s: %d kernel params, layer has %d output channels", node, len(params), conv.OutC)
+		}
+		for i, p := range params {
+			if p.N >= conv.KernelSize() {
+				return fmt.Errorf("snapea: %s kernel %d: N=%d out of range for kernel size %d", node, i, p.N, conv.KernelSize())
+			}
+		}
+	}
+	return nil
+}
 
 // NetTrace aggregates layer traces for one or more forward passes.
 type NetTrace struct {

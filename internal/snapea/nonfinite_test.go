@@ -1,0 +1,94 @@
+package snapea
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"snapea/internal/nn"
+	"snapea/internal/tensor"
+)
+
+// The SnaPEA engine's exact mode terminates a window the moment its
+// partial sum goes (and must stay) negative — a proof that assumes
+// finite, non-negative inputs. A NaN or ±Inf later in the window could
+// change the full IEEE sum after the engine has already committed to
+// zero, silently diverging from the dense reference. The hardened
+// RunChecked path therefore rejects non-finite inputs with an error
+// instead of executing them; these tests pin both halves of that
+// contract: parity on finite inputs, errors on non-finite ones.
+
+func TestRunCheckedMatchesDenseOnFiniteInputs(t *testing.T) {
+	in, plan, mk := faultFixture(t)
+	p := mk(nil, nil)
+	got, tr, err := p.RunChecked(in, RunOpts{})
+	if err != nil {
+		t.Fatalf("RunChecked on finite input: %v", err)
+	}
+	if tr == nil {
+		t.Fatal("no trace")
+	}
+	want := plan.Conv.Forward([]*tensor.Tensor{in})
+	for i := range want.Data() {
+		if math.Abs(float64(want.Data()[i]-got.Data()[i])) > 1e-4 {
+			t.Fatalf("exact engine diverges from dense at %d: %v vs %v", i, got.Data()[i], want.Data()[i])
+		}
+	}
+}
+
+func TestRunCheckedRejectsNaN(t *testing.T) {
+	in, _, mk := faultFixture(t)
+	p := mk(nil, nil)
+	in.Data()[7] = float32(math.NaN())
+	_, _, err := p.RunChecked(in, RunOpts{})
+	if err == nil {
+		t.Fatal("NaN input accepted")
+	}
+	if !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestRunCheckedRejectsInf(t *testing.T) {
+	in, _, mk := faultFixture(t)
+	p := mk(nil, nil)
+	in.Data()[0] = float32(math.Inf(-1))
+	if _, _, err := p.RunChecked(in, RunOpts{}); err == nil {
+		t.Fatal("-Inf input accepted")
+	}
+}
+
+func TestRunCheckedRejectsShapeMismatch(t *testing.T) {
+	in, _, mk := faultFixture(t)
+	p := mk(nil, nil)
+	s := in.Shape()
+	bad := tensor.New(tensor.Shape{N: 1, C: s.C + 1, H: s.H, W: s.W})
+	if _, _, err := p.RunChecked(bad, RunOpts{}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// TestEarlyTerminationDivergesOnNonFinite documents *why* RunChecked
+// rejects: an unchecked Run on a crafted non-finite input produces a
+// window output that differs from the dense IEEE sum, which is exactly
+// the silent divergence the guard exists to prevent.
+func TestEarlyTerminationDivergesOnNonFinite(t *testing.T) {
+	// One 1×1-spatial conv with kernel weights [-2, -1] over 2 channels.
+	conv := nn.NewConv2D(2, 1, 1, 1, 1, 0, 1, true)
+	copy(conv.Weights.Data(), []float32{-2, -1})
+	inShape := tensor.Shape{N: 1, C: 2, H: 1, W: 1}
+	plan := NewLayerPlan("diverge", conv, inShape, nil, NegByMagnitude)
+	in := tensor.New(inShape)
+	in.Data()[0] = 1
+	in.Data()[1] = float32(math.Inf(-1)) // -1 × -Inf = +Inf tail
+	out, _ := plan.Run(in, RunOpts{})
+	dense := conv.Forward([]*tensor.Tensor{in})
+	if out.Data()[0] == dense.Data()[0] {
+		t.Skip("engine happened to match dense; divergence depends on ordering")
+	}
+	// The engine early-terminated to 0 while the dense sum is +Inf: this
+	// is the divergence RunChecked guards against.
+	if _, _, err := plan.RunChecked(in, RunOpts{}); err == nil {
+		t.Fatal("RunChecked must reject the input Run diverges on")
+	}
+}

@@ -1,6 +1,7 @@
 package snapea
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -77,20 +78,22 @@ func (c OptConfig) normalize() OptConfig {
 }
 
 // Candidate is one profiled (Th, N) choice for a kernel, with its
-// estimated mean ops per window and false-negative rate.
+// estimated mean ops per window and false-negative rate. It serializes
+// into optimizer checkpoints.
 type Candidate struct {
-	Param KernelParam
-	Op    float64
-	FN    float64
+	Param KernelParam `json:"param"`
+	Op    float64     `json:"op"`
+	FN    float64     `json:"fn"`
 }
 
-// layerChoice is one per-layer configuration the optimization stage
+// LayerChoice is one per-layer configuration the optimization stage
 // weighs: a full set of kernel parameters plus its measured total layer
-// ops on the optimization set and its isolated accuracy loss.
-type layerChoice struct {
-	params LayerParams
-	op     float64
-	err    float64
+// ops on the optimization set and its isolated accuracy loss. It
+// serializes into optimizer checkpoints.
+type LayerChoice struct {
+	Params LayerParams `json:"params"`
+	Op     float64     `json:"op"`
+	Err    float64     `json:"err"`
 }
 
 // Result is the output of Algorithm 1.
@@ -128,6 +131,11 @@ type Optimizer struct {
 	exactOps  map[string]float64 // per-layer exact-mode ops on D
 	lastAcc   float64            // hard accuracy of the most recent evalFull
 	log       func(string, ...any)
+
+	// ckpt accumulates resumable state; saveCkpt (if set) persists it
+	// after every completed unit of work.
+	ckpt     *OptCheckpoint
+	saveCkpt func(*OptCheckpoint) error
 }
 
 // NewOptimizer prepares an optimizer. head must already be trained.
@@ -141,6 +149,37 @@ func NewOptimizer(net *Network, head *nn.FC, images []*tensor.Tensor, labels []i
 // SetLog installs a progress logger (Printf-style).
 func (o *Optimizer) SetLog(f func(string, ...any)) { o.log = f }
 
+// SetCheckpoint installs resumable-state handling: ck (may be a loaded
+// checkpoint to resume from, or nil to start fresh) accumulates
+// completed work, and save — called after every profiled or locally
+// optimized layer — persists it. Save errors are logged, not fatal: a
+// failing disk should not kill a multi-minute optimization. Because the
+// optimizer is deterministic, resuming from a checkpoint yields results
+// identical to an uninterrupted run.
+func (o *Optimizer) SetCheckpoint(ck *OptCheckpoint, save func(*OptCheckpoint) error) {
+	if ck == nil {
+		ck = NewOptCheckpoint("", o.cfg.Epsilon)
+	}
+	if ck.Profiled == nil {
+		ck.Profiled = make(map[string][][]Candidate)
+	}
+	if ck.Local == nil {
+		ck.Local = make(map[string][]LayerChoice)
+	}
+	o.ckpt = ck
+	o.saveCkpt = save
+}
+
+// checkpoint persists the accumulated checkpoint state, if configured.
+func (o *Optimizer) checkpoint() {
+	if o.ckpt == nil || o.saveCkpt == nil {
+		return
+	}
+	if err := o.saveCkpt(o.ckpt); err != nil {
+		o.logf("optimizer: checkpoint save failed: %v", err)
+	}
+}
+
 func (o *Optimizer) logf(format string, args ...any) {
 	if o.log != nil {
 		o.log(format, args...)
@@ -149,8 +188,32 @@ func (o *Optimizer) logf(format string, args ...any) {
 
 // Run executes the profiling stage and both optimization passes, returns
 // the chosen parameters, and leaves the optimizer's network compiled
-// with them.
+// with them. It is RunCtx without cancellation.
 func (o *Optimizer) Run() *Result {
+	res, err := o.RunCtx(context.Background())
+	if err != nil {
+		// Background context never cancels; any error here is a
+		// programming error (e.g. an incompatible checkpoint).
+		panic(err)
+	}
+	return res
+}
+
+// RunCtx executes Algorithm 1 under a context: cancellation or deadline
+// expiry stops the run between units of work and returns the context's
+// error, with the checkpoint (if configured) already holding every
+// completed unit, ready to resume.
+func (o *Optimizer) RunCtx(ctx context.Context) (*Result, error) {
+	if o.ckpt != nil {
+		if err := o.ckpt.Compatible("", o.cfg.Epsilon); err != nil {
+			return nil, err
+		}
+		for node := range o.ckpt.Profiled {
+			if o.net.Plans[node] == nil {
+				return nil, fmt.Errorf("snapea: checkpoint names layer %q absent from the network", node)
+			}
+		}
+	}
 	o.prepare()
 	if o.cfg.Epsilon <= 0 {
 		// The paper defines the 0%-loss point as the pure exact mode
@@ -167,14 +230,23 @@ func (o *Optimizer) Run() *Result {
 		for _, node := range o.net.PlanOrder {
 			res.Params[node] = AllExact(o.net.Plans[node].Conv.OutC)
 		}
-		return res
+		return res, nil
 	}
-	paramK := o.kernelProfilingPass()
-	paramL := o.localOptimizationPass(paramK)
-	res := o.globalOptimizationPass(paramL)
+	paramK, err := o.kernelProfilingPass(ctx)
+	if err != nil {
+		return nil, err
+	}
+	paramL, err := o.localOptimizationPass(ctx, paramK)
+	if err != nil {
+		return nil, err
+	}
+	res, err := o.globalOptimizationPass(ctx, paramL)
+	if err != nil {
+		return nil, err
+	}
 	res.ParamK = paramK
 	res.BaseAcc = o.baseAcc
-	return res
+	return res, nil
 }
 
 // prepare caches exact-mode node values and the exact per-layer op
@@ -238,11 +310,22 @@ func (o *Optimizer) setPlan(node string, params LayerParams) {
 // measures mean ops and false-negative rate over sampled windows for a
 // grid of (th, n) values and keeps the candidates within the kernel-level
 // budget, sorted by ascending op. The exact configuration is always the
-// final fallback entry.
-func (o *Optimizer) kernelProfilingPass() map[string][][]Candidate {
+// final fallback entry. Completed layers are checkpointed; layers already
+// in the checkpoint are reused instead of recomputed.
+func (o *Optimizer) kernelProfilingPass(ctx context.Context) (map[string][][]Candidate, error) {
 	fnBudget := math.Min(0.5, o.cfg.FNBudgetScale*o.cfg.Epsilon)
 	out := make(map[string][][]Candidate, len(o.net.PlanOrder))
 	for _, node := range o.net.PlanOrder {
+		if o.ckpt != nil {
+			if kands, ok := o.ckpt.Profiled[node]; ok {
+				out[node] = kands
+				o.logf("optimizer: profiling %s restored from checkpoint", node)
+				continue
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		plan := o.net.Plans[node]
 		conv := plan.Conv
 		windows := o.sampleWindows(node)
@@ -331,9 +414,13 @@ func (o *Optimizer) kernelProfilingPass() map[string][][]Candidate {
 			kands[k] = accepted
 		}
 		out[node] = kands
+		if o.ckpt != nil {
+			o.ckpt.Profiled[node] = kands
+			o.checkpoint()
+		}
 		o.logf("optimizer: profiled %s (%d kernels, %d windows)", node, conv.OutC, len(windows))
 	}
-	return out
+	return out, nil
 }
 
 // windowRef identifies one sampled convolution window.
@@ -416,13 +503,23 @@ func (rk *ReorderedKernel) gatherInto(orig, dst []float32) {
 // it forms T configurations (kernel k takes its t-th profiled candidate),
 // evaluates each with only that layer speculating, and keeps those within
 // ε. The exact configuration is appended as the guaranteed-feasible
-// fallback.
-func (o *Optimizer) localOptimizationPass(paramK map[string][][]Candidate) map[string][]layerChoice {
-	out := make(map[string][]layerChoice, len(o.net.PlanOrder))
+// fallback. Completed layers are checkpointed and reused on resume.
+func (o *Optimizer) localOptimizationPass(ctx context.Context, paramK map[string][][]Candidate) (map[string][]LayerChoice, error) {
+	out := make(map[string][]LayerChoice, len(o.net.PlanOrder))
 	for _, node := range o.net.PlanOrder {
+		if o.ckpt != nil {
+			if choices, ok := o.ckpt.Local[node]; ok {
+				out[node] = choices
+				o.logf("optimizer: local pass %s restored from checkpoint", node)
+				continue
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		kands := paramK[node]
 		outC := len(kands)
-		var choices []layerChoice
+		var choices []LayerChoice
 		for t := 0; t < o.cfg.T; t++ {
 			params := make(LayerParams, outC)
 			anySpec := false
@@ -442,15 +539,19 @@ func (o *Optimizer) localOptimizationPass(paramK map[string][][]Candidate) map[s
 			}
 			op, err := o.evalLayer(node, params)
 			if err <= o.cfg.Epsilon {
-				choices = append(choices, layerChoice{params: params, op: op, err: err})
+				choices = append(choices, LayerChoice{Params: params, Op: op, Err: err})
 			}
 		}
-		sort.Slice(choices, func(a, b int) bool { return choices[a].op < choices[b].op })
-		choices = append(choices, layerChoice{params: AllExact(outC), op: o.exactOps[node], err: 0})
+		sort.Slice(choices, func(a, b int) bool { return choices[a].Op < choices[b].Op })
+		choices = append(choices, LayerChoice{Params: AllExact(outC), Op: o.exactOps[node], Err: 0})
 		out[node] = choices
+		if o.ckpt != nil {
+			o.ckpt.Local[node] = choices
+			o.checkpoint()
+		}
 		o.logf("optimizer: local pass %s kept %d configs", node, len(choices))
 	}
-	return out
+	return out, nil
 }
 
 // evalLayer measures (total layer ops on D, accuracy loss) with only
@@ -514,25 +615,30 @@ func (o *Optimizer) loss(feats [][]float32) float64 {
 // paper's merit rule: start every layer at its cheapest acceptable local
 // configuration, and while the joint accuracy loss exceeds ε, move the
 // layer/configuration with the highest −Δerr/Δop merit to a more
-// conservative setting.
-func (o *Optimizer) globalOptimizationPass(paramL map[string][]layerChoice) *Result {
-	current := make(map[string]layerChoice, len(paramL))
-	remaining := make(map[string][]layerChoice, len(paramL))
+// conservative setting. The pass re-runs from the local-pass output on
+// resume (it is cheap relative to profiling and deterministic, so the
+// resumed result is identical).
+func (o *Optimizer) globalOptimizationPass(ctx context.Context, paramL map[string][]LayerChoice) (*Result, error) {
+	current := make(map[string]LayerChoice, len(paramL))
+	remaining := make(map[string][]LayerChoice, len(paramL))
 	for node, choices := range paramL {
 		current[node] = choices[0]
-		remaining[node] = append([]layerChoice(nil), choices[1:]...)
-		o.setPlan(node, choices[0].params)
+		remaining[node] = append([]LayerChoice(nil), choices[1:]...)
+		o.setPlan(node, choices[0].Params)
 	}
 	err := o.evalFull()
 	iters := 0
 	for err > o.cfg.Epsilon {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		node, idx, ok := o.adjustParam(current, remaining)
 		if !ok {
 			break // everything already at its most conservative config
 		}
 		current[node] = remaining[node][idx]
 		remaining[node] = append(remaining[node][:idx:idx], remaining[node][idx+1:]...)
-		o.setPlan(node, current[node].params)
+		o.setPlan(node, current[node].Params)
 		err = o.evalFull()
 		iters++
 		o.logf("optimizer: global iter %d moved %s, loss %.4f", iters, node, err)
@@ -544,27 +650,31 @@ func (o *Optimizer) globalOptimizationPass(paramL map[string][]layerChoice) *Res
 		GlobalIters: iters,
 	}
 	for node, choice := range current {
-		res.Params[node] = choice.params
-		for _, p := range choice.params {
+		res.Params[node] = choice.Params
+		for _, p := range choice.Params {
 			if !p.IsExact() {
 				res.Predictive[node] = true
 				break
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // adjustParam implements ADJUSTPARAM: pick the (layer, candidate) with
 // maximal merit −Δerr/Δop relative to the layer's current choice.
-func (o *Optimizer) adjustParam(current map[string]layerChoice, remaining map[string][]layerChoice) (string, int, bool) {
+// Layers are scanned in topological order, not map order, so merit ties
+// break identically on every run — map iteration here used to make the
+// global pass nondeterministic whenever two moves tied.
+func (o *Optimizer) adjustParam(current map[string]LayerChoice, remaining map[string][]LayerChoice) (string, int, bool) {
 	bestMerit := math.Inf(-1)
 	bestNode, bestIdx := "", -1
-	for node, list := range remaining {
+	for _, node := range o.net.PlanOrder {
+		list := remaining[node]
 		cur := current[node]
 		for i, cand := range list {
-			dErr := cand.err - cur.err
-			dOp := cand.op - cur.op
+			dErr := cand.Err - cur.Err
+			dOp := cand.Op - cur.Op
 			var merit float64
 			switch {
 			case dErr > 0:

@@ -1,6 +1,7 @@
 package snapea
 
 import (
+	"context"
 	"testing"
 
 	"snapea/internal/calib"
@@ -30,7 +31,11 @@ func profiledOptimizer(t *testing.T, eps float64) (*Optimizer, map[string][][]Ca
 	net := CompileExact(m)
 	o := NewOptimizer(net, m.Head, imgs, lbls, OptConfig{Epsilon: eps, SoftLoss: true})
 	o.prepare()
-	return o, o.kernelProfilingPass()
+	paramK, err := o.kernelProfilingPass(context.Background())
+	if err != nil {
+		t.Fatalf("kernelProfilingPass: %v", err)
+	}
+	return o, paramK
 }
 
 func TestProfilingCandidatesStructure(t *testing.T) {

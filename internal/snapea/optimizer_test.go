@@ -123,18 +123,24 @@ func TestOptimizerMonotoneInEpsilon(t *testing.T) {
 	}
 }
 
+// meritOptimizer returns an optimizer whose network knows the given plan
+// order — adjustParam scans layers in that order for deterministic ties.
+func meritOptimizer(order ...string) *Optimizer {
+	return &Optimizer{net: &Network{PlanOrder: order}}
+}
+
 func TestAdjustParamPicksBestMerit(t *testing.T) {
-	current := map[string]layerChoice{
-		"a": {op: 100, err: 0.10},
-		"b": {op: 200, err: 0.05},
+	current := map[string]LayerChoice{
+		"a": {Op: 100, Err: 0.10},
+		"b": {Op: 200, Err: 0.05},
 	}
-	remaining := map[string][]layerChoice{
+	remaining := map[string][]LayerChoice{
 		// a: big error drop for small op increase → merit 0.05/50 = 1e-3
-		"a": {{op: 150, err: 0.05}},
+		"a": {{Op: 150, Err: 0.05}},
 		// b: small drop for big increase → merit 0.01/300 ≈ 3.3e-5
-		"b": {{op: 500, err: 0.04}},
+		"b": {{Op: 500, Err: 0.04}},
 	}
-	o := &Optimizer{}
+	o := meritOptimizer("a", "b")
 	node, idx, ok := o.adjustParam(current, remaining)
 	if !ok || node != "a" || idx != 0 {
 		t.Fatalf("picked %s[%d] ok=%v, want a[0]", node, idx, ok)
@@ -142,11 +148,11 @@ func TestAdjustParamPicksBestMerit(t *testing.T) {
 }
 
 func TestAdjustParamPrefersStrictImprovement(t *testing.T) {
-	current := map[string]layerChoice{"a": {op: 100, err: 0.10}}
-	remaining := map[string][]layerChoice{
-		"a": {{op: 90, err: 0.05}, {op: 200, err: 0.0}},
+	current := map[string]LayerChoice{"a": {Op: 100, Err: 0.10}}
+	remaining := map[string][]LayerChoice{
+		"a": {{Op: 90, Err: 0.05}, {Op: 200, Err: 0.0}},
 	}
-	o := &Optimizer{}
+	o := meritOptimizer("a")
 	node, idx, ok := o.adjustParam(current, remaining)
 	if !ok || node != "a" || idx != 0 {
 		t.Fatalf("must prefer fewer-ops-and-less-error candidate, got %s[%d]", node, idx)
@@ -154,9 +160,29 @@ func TestAdjustParamPrefersStrictImprovement(t *testing.T) {
 }
 
 func TestAdjustParamExhausted(t *testing.T) {
-	o := &Optimizer{}
-	_, _, ok := o.adjustParam(map[string]layerChoice{"a": {}}, map[string][]layerChoice{"a": {}})
+	o := meritOptimizer("a")
+	_, _, ok := o.adjustParam(map[string]LayerChoice{"a": {}}, map[string][]LayerChoice{"a": {}})
 	if ok {
 		t.Fatal("no candidates should report !ok")
+	}
+}
+
+func TestAdjustParamDeterministicTieBreak(t *testing.T) {
+	// Two layers offering identical merit: the topologically first must
+	// win every time (map iteration order must not leak in).
+	current := map[string]LayerChoice{
+		"z": {Op: 100, Err: 0.10},
+		"a": {Op: 100, Err: 0.10},
+	}
+	remaining := map[string][]LayerChoice{
+		"z": {{Op: 150, Err: 0.05}},
+		"a": {{Op: 150, Err: 0.05}},
+	}
+	o := meritOptimizer("z", "a")
+	for i := 0; i < 32; i++ {
+		node, _, ok := o.adjustParam(current, remaining)
+		if !ok || node != "z" {
+			t.Fatalf("iteration %d: tie broke to %q, want plan-order winner %q", i, node, "z")
+		}
 	}
 }

@@ -3,6 +3,7 @@ package snapea
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -43,8 +44,18 @@ func (f *ParamsFile) Marshal() ([]byte, error) {
 	return json.MarshalIndent(f, "", "  ")
 }
 
+// MaxN bounds a stored group count N. No real kernel in the evaluated
+// networks exceeds a few thousand weights, so anything larger in a
+// params file is corruption, and rejecting it here keeps downstream
+// consumers (which size buffers from N) from amplifying the damage.
+const MaxN = 1 << 16
+
 // ParseParams reads a serialized parameters file and validates its
-// structural invariants.
+// structural invariants: sane layer/kernel counts, N within [0, MaxN],
+// finite thresholds, finite accuracy metadata, and predictive entries
+// that name stored layers. Errors identify the offending layer and
+// kernel index. Use ParamsFile.Check to additionally validate against a
+// concrete model.
 func ParseParams(data []byte) (*ParamsFile, error) {
 	var f ParamsFile
 	if err := json.Unmarshal(data, &f); err != nil {
@@ -53,10 +64,28 @@ func ParseParams(data []byte) (*ParamsFile, error) {
 	if len(f.Layers) == 0 {
 		return nil, fmt.Errorf("snapea: params file has no layers")
 	}
+	for _, v := range []struct {
+		name string
+		v    float64
+	}{{"epsilon", f.Epsilon}, {"base_accuracy", f.BaseAcc}, {"final_accuracy", f.FinalAcc}} {
+		if math.IsNaN(v.v) || math.IsInf(v.v, 0) {
+			return nil, fmt.Errorf("snapea: params %s is non-finite", v.name)
+		}
+	}
 	for node, params := range f.Layers {
+		if len(params) == 0 {
+			return nil, fmt.Errorf("snapea: layer %q has no kernel parameters", node)
+		}
 		for i, p := range params {
 			if p.N < 0 {
-				return nil, fmt.Errorf("snapea: %s kernel %d has negative N", node, i)
+				return nil, fmt.Errorf("snapea: layer %q kernel %d has negative N (%d)", node, i, p.N)
+			}
+			if p.N > MaxN {
+				return nil, fmt.Errorf("snapea: layer %q kernel %d has oversized N (%d > %d)", node, i, p.N, MaxN)
+			}
+			th := float64(p.Th)
+			if math.IsNaN(th) || math.IsInf(th, 0) {
+				return nil, fmt.Errorf("snapea: layer %q kernel %d has non-finite Th (%v)", node, i, p.Th)
 			}
 		}
 	}
