@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-smoke ci clean
+.PHONY: build test race vet fuzz-smoke bench bench-smoke invariance ci clean
 
 build:
 	$(GO) build ./...
@@ -20,8 +20,25 @@ fuzz-smoke:
 	$(GO) test ./internal/models -run '^$$' -fuzz 'FuzzLoadWeights' -fuzztime 10s
 	$(GO) test ./internal/snapea -run '^$$' -fuzz 'FuzzLoadParams' -fuzztime 10s
 
+# Worker-count benchmark sweep over the parallelized hot paths; results
+# land in BENCH_PR2.json (name → ns/op, allocs/op, workers).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkConv2DForward|BenchmarkForwardGEMM|BenchmarkLayerPlanRun|BenchmarkOptimizerRunCtx' \
+		-benchmem ./internal/nn ./internal/snapea | $(GO) run ./internal/tools/benchjson -o BENCH_PR2.json
+
+# One iteration of every benchmark — catches bit-rotted bench code
+# without paying for real measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/nn ./internal/snapea
+
+# Determinism gate: outputs, traces, and checkpoints must be identical
+# for every worker count, even when the scheduler has real parallelism
+# to play with.
+invariance:
+	GOMAXPROCS=2 $(GO) test -race -run WorkerInvariance ./internal/nn ./internal/snapea
+
 # The tier-1+ gate: everything CI runs before a merge.
-ci: vet build race fuzz-smoke
+ci: vet build race fuzz-smoke bench-smoke invariance
 
 clean:
 	$(GO) clean ./...

@@ -22,7 +22,9 @@ func main() {
 	scale := flag.String("scale", "full", "reduced or full")
 	classes := flag.Int("classes", 1000, "output classes")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
+	workers := cli.WorkersFlag(nil)
 	flag.Parse()
+	workers.Apply()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()

@@ -33,7 +33,9 @@ func main() {
 	layers := flag.Bool("layers", false, "print per-layer breakdown")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	faultFlags := cli.FaultFlags(nil)
+	workers := cli.WorkersFlag(nil)
 	flag.Parse()
+	workers.Apply()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()

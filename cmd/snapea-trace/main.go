@@ -31,7 +31,9 @@ func main() {
 	buckets := flag.Int("buckets", 8, "histogram buckets")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	faultFlags := cli.FaultFlags(nil)
+	workers := cli.WorkersFlag(nil)
 	flag.Parse()
+	workers.Apply()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()

@@ -39,7 +39,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort (with checkpoint) after this duration (0 = none)")
 	ckptPath := flag.String("checkpoint", "", "checkpoint file (default: <-o path>.ckpt, or snapea-tune.ckpt)")
 	resume := flag.Bool("resume", false, "resume from the checkpoint file")
+	workers := cli.WorkersFlag(nil)
 	flag.Parse()
+	workers.Apply()
 
 	if *ckptPath == "" {
 		if *out != "" {

@@ -1,7 +1,7 @@
 // Package cli holds the flag and lifecycle plumbing the snapea-* tools
-// share: a signal-aware root context with optional deadline, and the
-// fault-injection flag group, so every tool spells the robustness knobs
-// the same way.
+// share: a signal-aware root context with optional deadline, the
+// fault-injection flag group, and the -workers parallelism knob, so
+// every tool spells the robustness and performance knobs the same way.
 package cli
 
 import (
@@ -14,7 +14,34 @@ import (
 	"time"
 
 	"snapea/internal/faults"
+	"snapea/internal/parallel"
 )
+
+// WorkersFlag registers the shared -workers flag on fs (the default
+// FlagSet when fs is nil). Call Apply after Parse to install the value
+// as the process-wide worker-pool limit; until then the pool keeps its
+// GOMAXPROCS (or SNAPEA_WORKERS) default. Results are byte-identical for
+// every worker count — the flag only trades wall-clock time.
+func WorkersFlag(fs *flag.FlagSet) *WorkersFlagGroup {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	g := &WorkersFlagGroup{}
+	fs.IntVar(&g.n, "workers", 0, "worker goroutines for parallel execution (0 = GOMAXPROCS)")
+	return g
+}
+
+// WorkersFlagGroup holds the parsed -workers value.
+type WorkersFlagGroup struct {
+	n int
+}
+
+// Apply installs the parsed worker count as the process-wide pool limit
+// and returns the effective count.
+func (g *WorkersFlagGroup) Apply() int {
+	parallel.SetLimit(g.n)
+	return parallel.Limit()
+}
 
 // Context returns the root context for a tool run: it cancels on SIGINT
 // or SIGTERM (first signal cancels gracefully; a second one kills the

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"snapea/internal/parallel"
 	"snapea/internal/report"
 )
 
@@ -28,15 +29,18 @@ type OverallResult struct {
 // over EYERISS (no accuracy impact by construction).
 func (s *Suite) Fig8() OverallResult {
 	res := OverallResult{Mode: "exact"}
-	for _, name := range s.Cfg.Networks {
+	// Networks evaluate concurrently; rows land in network order, so the
+	// rendered table and geomeans match a serial run exactly.
+	res.Rows = parallel.Map(len(s.Cfg.Networks), func(_, i int) NetPerf {
+		name := s.Cfg.Networks[i]
 		r := s.Exact(name)
-		res.Rows = append(res.Rows, NetPerf{
+		return NetPerf{
 			Network:   name,
 			Speedup:   r.Snap.Speedup(r.Base),
 			EnergyRed: r.Snap.EnergyReduction(r.Base),
 			MACRed:    r.Trace.Reduction(),
-		})
-	}
+		}
+	})
 	res.finish()
 	s.render("Figure 8: exact mode vs EYERISS (paper: 1.30x / 1.16x average)", res)
 	return res
@@ -46,16 +50,17 @@ func (s *Suite) Fig8() OverallResult {
 // reduction at the configured ε (paper: ≤3% accuracy loss).
 func (s *Suite) Fig9() OverallResult {
 	res := OverallResult{Mode: "predictive"}
-	for _, name := range s.Cfg.Networks {
+	res.Rows = parallel.Map(len(s.Cfg.Networks), func(_, i int) NetPerf {
+		name := s.Cfg.Networks[i]
 		r := s.Predictive(name, s.Cfg.Epsilon)
-		res.Rows = append(res.Rows, NetPerf{
+		return NetPerf{
 			Network:   name,
 			Speedup:   r.Snap.Speedup(r.Base),
 			EnergyRed: r.Snap.EnergyReduction(r.Base),
 			MACRed:    r.Trace.Reduction(),
 			AccLoss:   r.AccLoss,
-		})
-	}
+		}
+	})
 	res.finish()
 	s.render("Figure 9: predictive mode vs EYERISS at ε=3% (paper: 1.9x / 1.63x average)", res)
 	return res

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"snapea/internal/parallel"
 	"snapea/internal/tensor"
 )
 
@@ -68,56 +69,63 @@ func (c *Conv2D) OutShape(ins []tensor.Shape) tensor.Shape {
 	return tensor.Shape{N: in.N, C: c.OutC, H: oh, W: ow}
 }
 
-// Forward implements Layer with a direct (non-im2col) convolution.
+// Forward implements Layer with a direct (non-im2col) convolution. The
+// (batch, output-channel) units are independent — each writes one
+// disjoint output plane from read-only inputs — so they fan out across
+// the worker pool; per-unit arithmetic is untouched, which keeps the
+// output bit-identical for every worker count.
 func (c *Conv2D) Forward(ins []*tensor.Tensor) *tensor.Tensor {
 	in := one(ins)
 	os := c.OutShape([]tensor.Shape{in.Shape()})
 	out := tensor.New(os)
 	s := in.Shape()
+	parallel.For(s.N*c.OutC, func(_, u int) {
+		c.forwardPlane(u/c.OutC, u%c.OutC, in, out, s, os)
+	})
+	return out
+}
+
+// forwardPlane computes output channel k of batch element n.
+func (c *Conv2D) forwardPlane(n, k int, in, out *tensor.Tensor, s, os tensor.Shape) {
 	inCg := c.InC / c.Groups
 	outCg := c.OutC / c.Groups
 	ind := in.Data()
 	outd := out.Data()
 	wd := c.Weights.Data()
-	for n := 0; n < s.N; n++ {
-		for k := 0; k < c.OutC; k++ {
-			g := k / outCg
-			cBase := g * inCg
-			wBase := k * inCg * c.KH * c.KW
-			for oy := 0; oy < os.H; oy++ {
-				iy0 := oy*c.StrideH - c.PadH
-				for ox := 0; ox < os.W; ox++ {
-					ix0 := ox*c.StrideW - c.PadW
-					acc := c.Bias[k]
-					for ci := 0; ci < inCg; ci++ {
-						cIn := cBase + ci
-						inBase := ((n*s.C + cIn) * s.H) * s.W
-						wBaseC := wBase + ci*c.KH*c.KW
-						for ky := 0; ky < c.KH; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= s.H {
-								continue
-							}
-							rowBase := inBase + iy*s.W
-							wRow := wBaseC + ky*c.KW
-							for kx := 0; kx < c.KW; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= s.W {
-									continue
-								}
-								acc += ind[rowBase+ix] * wd[wRow+kx]
-							}
+	g := k / outCg
+	cBase := g * inCg
+	wBase := k * inCg * c.KH * c.KW
+	for oy := 0; oy < os.H; oy++ {
+		iy0 := oy*c.StrideH - c.PadH
+		for ox := 0; ox < os.W; ox++ {
+			ix0 := ox*c.StrideW - c.PadW
+			acc := c.Bias[k]
+			for ci := 0; ci < inCg; ci++ {
+				cIn := cBase + ci
+				inBase := ((n*s.C + cIn) * s.H) * s.W
+				wBaseC := wBase + ci*c.KH*c.KW
+				for ky := 0; ky < c.KH; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= s.H {
+						continue
+					}
+					rowBase := inBase + iy*s.W
+					wRow := wBaseC + ky*c.KW
+					for kx := 0; kx < c.KW; kx++ {
+						ix := ix0 + kx
+						if ix < 0 || ix >= s.W {
+							continue
 						}
+						acc += ind[rowBase+ix] * wd[wRow+kx]
 					}
-					if c.ReLU && acc < 0 {
-						acc = 0
-					}
-					outd[((n*os.C+k)*os.H+oy)*os.W+ox] = acc
 				}
 			}
+			if c.ReLU && acc < 0 {
+				acc = 0
+			}
+			outd[((n*os.C+k)*os.H+oy)*os.W+ox] = acc
 		}
 	}
-	return out
 }
 
 // PreActivation computes the convolution without the fused ReLU. The

@@ -1,6 +1,9 @@
 package nn
 
-import "snapea/internal/tensor"
+import (
+	"snapea/internal/parallel"
+	"snapea/internal/tensor"
+)
 
 // This file provides the classical im2col + GEMM formulation of
 // convolution. It exists as an independently-derived implementation to
@@ -13,13 +16,27 @@ import "snapea/internal/tensor"
 // of shape (outH*outW) × (inCg*KH*KW) for the given batch element and
 // channel group. Out-of-bounds taps contribute zeros.
 func Im2Col(c *Conv2D, in *tensor.Tensor, n, group int) ([]float32, int, int) {
+	return Im2ColInto(c, in, n, group, nil)
+}
+
+// Im2ColInto is Im2Col writing into buf when its capacity suffices,
+// allocating only otherwise — the engine's workers reuse one buffer per
+// worker across every (batch, group) unit, which removes the per-window
+// allocation that dominated GoogLeNet's 1×1-heavy layers. Every slot is
+// written (zeros included), so a dirty buffer is safe to reuse.
+func Im2ColInto(c *Conv2D, in *tensor.Tensor, n, group int, buf []float32) ([]float32, int, int) {
 	s := in.Shape()
 	inCg := c.InC / c.Groups
 	oh := (s.H+2*c.PadH-c.KH)/c.StrideH + 1
 	ow := (s.W+2*c.PadW-c.KW)/c.StrideW + 1
 	rows := oh * ow
 	cols := inCg * c.KH * c.KW
-	out := make([]float32, rows*cols)
+	out := buf
+	if cap(out) < rows*cols {
+		out = make([]float32, rows*cols)
+	} else {
+		out = out[:rows*cols]
+	}
 	ind := in.Data()
 	cBase := group * inCg
 	for oy := 0; oy < oh; oy++ {
@@ -34,6 +51,8 @@ func Im2Col(c *Conv2D, in *tensor.Tensor, n, group int) ([]float32, int, int) {
 						ix := ox*c.StrideW - c.PadW + kx
 						if iy >= 0 && iy < s.H && ix >= 0 && ix < s.W {
 							out[row+i] = ind[base+iy*s.W+ix]
+						} else {
+							out[row+i] = 0
 						}
 						i++
 					}
@@ -64,9 +83,17 @@ func MatMul(a []float32, m, k int, b []float32, n int, dst []float32) {
 	}
 }
 
+// gemmScratch is one worker's reusable im2col and GEMM-result storage.
+type gemmScratch struct {
+	col []float32
+	res []float32
+}
+
 // ForwardGEMM computes the convolution via im2col + GEMM. It produces
 // the same output as Forward (including the fused ReLU) and exists for
-// cross-validation.
+// cross-validation. The (batch, group) units fan out across the worker
+// pool; each worker owns one scratch pair, so the hot loop allocates
+// only once per worker instead of once per unit.
 func (c *Conv2D) ForwardGEMM(in *tensor.Tensor) *tensor.Tensor {
 	s := in.Shape()
 	os := c.OutShape([]tensor.Shape{s})
@@ -75,25 +102,31 @@ func (c *Conv2D) ForwardGEMM(in *tensor.Tensor) *tensor.Tensor {
 	outCg := c.OutC / c.Groups
 	wd := c.Weights.Data()
 	ksz := c.KernelSize()
-	for n := 0; n < s.N; n++ {
-		for g := 0; g < c.Groups; g++ {
-			cols, rows, k := Im2Col(c, in, n, g)
-			wBase := g * outCg * ksz
-			res := make([]float32, rows*outCg)
-			MatMul(cols, rows, k, wd[wBase:wBase+outCg*ksz], outCg, res)
-			for kc := 0; kc < outCg; kc++ {
-				oc := g*outCg + kc
-				bias := c.Bias[oc]
-				dst := outd[(n*os.C+oc)*os.H*os.W:]
-				for r := 0; r < rows; r++ {
-					v := res[r*outCg+kc] + bias
-					if c.ReLU && v < 0 {
-						v = 0
-					}
-					dst[r] = v
+	units := s.N * c.Groups
+	scratch := make([]gemmScratch, parallel.Workers(units))
+	parallel.For(units, func(w, u int) {
+		n, g := u/c.Groups, u%c.Groups
+		sc := &scratch[w]
+		cols, rows, k := Im2ColInto(c, in, n, g, sc.col)
+		sc.col = cols
+		if cap(sc.res) < rows*outCg {
+			sc.res = make([]float32, rows*outCg)
+		}
+		res := sc.res[:rows*outCg]
+		wBase := g * outCg * ksz
+		MatMul(cols, rows, k, wd[wBase:wBase+outCg*ksz], outCg, res)
+		for kc := 0; kc < outCg; kc++ {
+			oc := g*outCg + kc
+			bias := c.Bias[oc]
+			dst := outd[(n*os.C+oc)*os.H*os.W:]
+			for r := 0; r < rows; r++ {
+				v := res[r*outCg+kc] + bias
+				if c.ReLU && v < 0 {
+					v = 0
 				}
+				dst[r] = v
 			}
 		}
-	}
+	})
 	return out
 }

@@ -1,0 +1,214 @@
+// Package parallel is the repository's deterministic worker-pool layer.
+// Every hot path — the dense convolutions, the SnaPEA engine's
+// per-kernel sweep, Algorithm 1's profiling and evaluation loops, and
+// the experiment suite's network×mode grid — fans its independent work
+// units through this package instead of spawning raw goroutines.
+//
+// The contract that keeps the reproduction trustworthy: results must be
+// byte-identical for every worker count, including 1. The pool supports
+// that by handing out work units by index and leaving all reductions to
+// the caller, who must either write results into index-keyed slots
+// (order-independent by construction) or merge per-worker shards of
+// integer counters (associative, so any assignment of units to workers
+// sums to the same value). Nothing in this package introduces an
+// ordering dependency of its own.
+//
+// The pool is bounded process-wide: the default limit is GOMAXPROCS,
+// overridable with the shared -workers tool flag (see internal/cli), the
+// SNAPEA_WORKERS environment variable, or SetLimit. Nested For calls do
+// not multiply goroutines — a global helper budget makes inner loops run
+// inline on their caller once the process-wide worker count is reached,
+// so an optimizer image fan-out over a layer fan-out still uses at most
+// Limit() workers.
+package parallel
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// limit holds the configured worker bound; 0 means "use GOMAXPROCS".
+var limit atomic.Int64
+
+func init() {
+	if v := os.Getenv("SNAPEA_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			SetLimit(n)
+		}
+	}
+}
+
+// Limit returns the process-wide maximum number of concurrent workers.
+func Limit() int {
+	if n := limit.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetLimit installs the process-wide worker bound; n <= 0 restores the
+// GOMAXPROCS default. It is a startup/test knob: changing it while For
+// calls are running is safe for memory but the new value only applies to
+// loops entered afterwards.
+func SetLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	limit.Store(int64(n))
+}
+
+// Workers returns the number of workers a For over n items may use:
+// min(Limit, n), and at least 1. Callers allocating per-worker scratch
+// (buffers, trace shards) size their slices with it; For guarantees the
+// worker indices it passes to fn stay below this value for the same
+// Limit.
+func Workers(n int) int {
+	w := Limit()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// inflight counts helper goroutines alive across all For calls. It is
+// the global budget that keeps nested loops from multiplying workers:
+// a For may only spawn helpers while the process-wide count is below
+// Limit()-1 (the caller's own goroutine is always a worker), and falls
+// back to running inline otherwise — which can never deadlock, because
+// no worker ever blocks waiting for a budget token.
+var inflight atomic.Int64
+
+// acquireHelpers reserves up to want helper slots and returns how many
+// were granted.
+func acquireHelpers(want int) int {
+	for {
+		cur := inflight.Load()
+		free := int64(Limit()) - 1 - cur
+		if free <= 0 {
+			return 0
+		}
+		grant := int64(want)
+		if grant > free {
+			grant = free
+		}
+		if inflight.CompareAndSwap(cur, cur+grant) {
+			return int(grant)
+		}
+	}
+}
+
+func releaseHelper() { inflight.Add(-1) }
+
+// For runs fn(worker, i) for every i in [0, n) across up to Limit()
+// workers. Work units are handed out dynamically (an atomic cursor), so
+// unevenly priced units — e.g. kernels whose windows terminate early —
+// balance across workers; callers must therefore not depend on which
+// worker ran which unit, only on the unit index. worker identifies the
+// executing worker (0 is the caller) and stays below Workers(n); it
+// exists solely to let fn reuse per-worker scratch. A panic in fn is
+// re-raised on the caller after all workers stop.
+func For(n int, fn func(worker, i int)) {
+	forCtx(nil, n, fn)
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is done, workers
+// stop picking up new units, the remaining units are skipped, and the
+// context's error is returned. Callers must treat any partially written
+// results as garbage when an error comes back — exactly the PR 1
+// contract for cancelled pipeline stages.
+func ForCtx(ctx context.Context, n int, fn func(worker, i int)) error {
+	return forCtx(ctx, n, fn)
+}
+
+func forCtx(ctx context.Context, n int, fn func(worker, i int)) error {
+	if n <= 0 {
+		return ctxErr(ctx)
+	}
+	want := Workers(n)
+	helpers := 0
+	if want > 1 {
+		helpers = acquireHelpers(want - 1)
+	}
+	if helpers == 0 {
+		for i := 0; i < n; i++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			fn(0, i)
+		}
+		return nil
+	}
+
+	var (
+		cursor  atomic.Int64
+		stopped atomic.Bool
+		panicMu sync.Mutex
+		panicV  any
+	)
+	work := func(worker int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicV == nil {
+					panicV = r
+				}
+				panicMu.Unlock()
+				stopped.Store(true)
+			}
+		}()
+		for !stopped.Load() && ctxErr(ctx) == nil {
+			i := int(cursor.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			fn(worker, i)
+		}
+	}
+	var wg sync.WaitGroup
+	for h := 1; h <= helpers; h++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			defer releaseHelper()
+			work(worker)
+		}(h)
+	}
+	work(0)
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+	return ctxErr(ctx)
+}
+
+// Map runs fn for every index and collects the results in index order —
+// the simplest ordered reduction.
+func Map[T any](n int, fn func(worker, i int) T) []T {
+	out := make([]T, n)
+	For(n, func(w, i int) { out[i] = fn(w, i) })
+	return out
+}
+
+// MapCtx is Map with cooperative cancellation; on error the returned
+// slice is nil.
+func MapCtx[T any](ctx context.Context, n int, fn func(worker, i int) T) ([]T, error) {
+	out := make([]T, n)
+	if err := ForCtx(ctx, n, func(w, i int) { out[i] = fn(w, i) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

@@ -3,12 +3,11 @@ package snapea
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"snapea/internal/faults"
 	"snapea/internal/nn"
+	"snapea/internal/parallel"
 	"snapea/internal/tensor"
 )
 
@@ -213,27 +212,19 @@ func (p *LayerPlan) Run(in *tensor.Tensor, opts RunOpts) (*tensor.Tensor, *Layer
 		tr.Ops = make([]int32, tr.Windows)
 	}
 
-	// Kernels write disjoint output planes and private stats, so they
-	// parallelize cleanly and deterministically.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > p.outC {
-		workers = p.outC
-	}
-	stats := make([]LayerTrace, workers)
-	var wg sync.WaitGroup
-	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			st := &stats[wi]
-			for k := wi; k < p.outC; k += workers {
-				for n := 0; n < s.N; n++ {
-					p.runKernel(n, k, in, out, tr, st, opts)
-				}
-			}
-		}(wi)
-	}
-	wg.Wait()
+	// Kernels write disjoint output planes (and index-keyed Ops slots),
+	// so they fan out across the worker pool. Each worker accumulates
+	// into a private LayerTrace shard; the shards are merged afterwards
+	// in worker order. Every shard field is an integer counter, so the
+	// merged totals are identical for any worker count and any dynamic
+	// assignment of kernels to workers.
+	stats := make([]LayerTrace, parallel.Workers(p.outC))
+	parallel.For(p.outC, func(w, k int) {
+		st := &stats[w]
+		for n := 0; n < s.N; n++ {
+			p.runKernel(n, k, in, out, tr, st, opts)
+		}
+	})
 	for i := range stats {
 		tr.TotalOps += stats[i].TotalOps
 		tr.SpecZero += stats[i].SpecZero

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"snapea/internal/nn"
+	"snapea/internal/parallel"
 	"snapea/internal/tensor"
 	"snapea/internal/train"
 )
@@ -250,7 +251,11 @@ func (o *Optimizer) RunCtx(ctx context.Context) (*Result, error) {
 }
 
 // prepare caches exact-mode node values and the exact per-layer op
-// totals for the optimization set.
+// totals for the optimization set. The per-image forward passes are
+// independent, so they fan out across the worker pool; each image's
+// cache and trace land in index-keyed slots and the per-layer op totals
+// are then merged serially in image order, so the prepared state is
+// identical for any worker count.
 func (o *Optimizer) prepare() {
 	// Reset every plan to exact.
 	for _, name := range o.net.PlanOrder {
@@ -259,7 +264,9 @@ func (o *Optimizer) prepare() {
 	o.caches = make([]map[string]*tensor.Tensor, len(o.images))
 	o.baseFeats = make([][]float32, len(o.images))
 	o.exactOps = make(map[string]float64)
-	for i, img := range o.images {
+	traces := make([]*NetTrace, len(o.images))
+	parallel.For(len(o.images), func(_, i int) {
+		img := o.images[i]
 		trace := NewNetTrace()
 		vals := map[string]*tensor.Tensor{nn.InputName: img}
 		o.net.Model.Graph.ForwardExec(img, func(name string, t *tensor.Tensor) {
@@ -270,6 +277,9 @@ func (o *Optimizer) prepare() {
 		cp := make([]float32, len(feat.Data()))
 		copy(cp, feat.Data())
 		o.baseFeats[i] = cp
+		traces[i] = trace
+	})
+	for _, trace := range traces {
 		for name, tr := range trace.Layers {
 			o.exactOps[name] += float64(tr.TotalOps)
 		}
@@ -312,6 +322,13 @@ func (o *Optimizer) setPlan(node string, params LayerParams) {
 // budget, sorted by ascending op. The exact configuration is always the
 // final fallback entry. Completed layers are checkpointed; layers already
 // in the checkpoint are reused instead of recomputed.
+//
+// Kernels are profiled concurrently: each kernel's candidate search only
+// reads the shared window sample and writes its own kands slot, and each
+// worker owns a private gather scratch. The per-kernel arithmetic is
+// untouched, so the candidate lists — and therefore the checkpoint bytes
+// — are bit-identical for any worker count. Layers stay sequential,
+// preserving the per-layer checkpoint granularity.
 func (o *Optimizer) kernelProfilingPass(ctx context.Context) (map[string][][]Candidate, error) {
 	fnBudget := math.Min(0.5, o.cfg.FNBudgetScale*o.cfg.Epsilon)
 	out := make(map[string][][]Candidate, len(o.net.PlanOrder))
@@ -326,92 +343,21 @@ func (o *Optimizer) kernelProfilingPass(ctx context.Context) (map[string][][]Can
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		plan := o.net.Plans[node]
-		conv := plan.Conv
+		conv := o.net.Plans[node].Conv
 		windows := o.sampleWindows(node)
 		kands := make([][]Candidate, conv.OutC)
 		ksz := conv.KernelSize()
-		xbuf := make([]float32, ksz)
-		gath := make([]float32, ksz)
-		for k := 0; k < conv.OutC; k++ {
-			w := conv.Kernel(k)
-			bias := conv.Bias[k]
-			// Exact baseline per window.
-			rkE := Reorder(w, Exact, o.cfg.NegOrder)
-			var exactOps, denseOps float64
-			fulls := make([]float64, len(windows))
-			for wi, win := range windows {
-				o.gatherWindow(node, win, k, xbuf)
-				rkE.gatherInto(xbuf, gath)
-				ops, _ := rkE.Op(gath, bias)
-				exactOps += float64(ops)
-				full := float64(bias)
-				for i, x := range xbuf {
-					full += float64(w[i]) * float64(x)
-				}
-				fulls[wi] = full
-				denseOps += float64(ksz)
+		scratch := make([]profileScratch, parallel.Workers(conv.OutC))
+		err := parallel.ForCtx(ctx, conv.OutC, func(w, k int) {
+			sc := &scratch[w]
+			if cap(sc.xbuf) < ksz {
+				sc.xbuf = make([]float32, ksz)
+				sc.gath = make([]float32, ksz)
 			}
-			exactOps /= float64(len(windows))
-			var accepted []Candidate
-			for _, n := range o.cfg.NCandidates {
-				if n >= ksz {
-					continue
-				}
-				rk := Reorder(w, KernelParam{N: n}, o.cfg.NegOrder)
-				// Speculation-prefix sums per window → threshold grid.
-				sums := make([]float64, len(windows))
-				for wi, win := range windows {
-					o.gatherWindow(node, win, k, xbuf)
-					s := float64(bias)
-					for i := 0; i < rk.NumSpec; i++ {
-						s += float64(rk.Weights[i]) * float64(xbuf[rk.Index[i]])
-					}
-					sums[wi] = s
-				}
-				sorted := append([]float64(nil), sums...)
-				sort.Float64s(sorted)
-				for _, q := range o.cfg.ThQuantiles {
-					th := float32(sorted[int(q*float64(len(sorted)-1))])
-					rk.Th = th
-					var ops float64
-					var fn, pos int
-					var fnMass, posMass float64
-					for wi, win := range windows {
-						o.gatherWindow(node, win, k, xbuf)
-						rk.gatherInto(xbuf, gath)
-						op, _ := rk.Op(gath, bias)
-						ops += float64(op)
-						if fulls[wi] >= 0 {
-							pos++
-							posMass += fulls[wi]
-							if sums[wi] <= float64(th) {
-								fn++
-								fnMass += fulls[wi]
-							}
-						}
-					}
-					ops /= float64(len(windows))
-					fnRate := 0.0
-					if pos > 0 {
-						fnRate = float64(fn) / float64(pos)
-					}
-					massRatio := 0.0
-					if posMass > 0 {
-						massRatio = fnMass / posMass
-					}
-					if massRatio <= fnBudget && ops < exactOps {
-						accepted = append(accepted, Candidate{
-							Param: KernelParam{Th: th, N: n},
-							Op:    ops,
-							FN:    fnRate,
-						})
-					}
-				}
-			}
-			sort.Slice(accepted, func(a, b int) bool { return accepted[a].Op < accepted[b].Op })
-			accepted = append(accepted, Candidate{Param: Exact, Op: exactOps})
-			kands[k] = accepted
+			kands[k] = o.profileKernel(node, k, windows, fnBudget, sc.xbuf[:ksz], sc.gath[:ksz])
+		})
+		if err != nil {
+			return nil, err
 		}
 		out[node] = kands
 		if o.ckpt != nil {
@@ -421,6 +367,96 @@ func (o *Optimizer) kernelProfilingPass(ctx context.Context) (map[string][][]Can
 		o.logf("optimizer: profiled %s (%d kernels, %d windows)", node, conv.OutC, len(windows))
 	}
 	return out, nil
+}
+
+// profileScratch is one profiling worker's reusable window-gather space.
+type profileScratch struct {
+	xbuf []float32
+	gath []float32
+}
+
+// profileKernel runs the (th, n) candidate grid for one kernel over the
+// layer's sampled windows and returns the accepted candidates sorted by
+// ascending op, with the exact fallback appended.
+func (o *Optimizer) profileKernel(node string, k int, windows []windowRef, fnBudget float64, xbuf, gath []float32) []Candidate {
+	conv := o.net.Plans[node].Conv
+	ksz := conv.KernelSize()
+	w := conv.Kernel(k)
+	bias := conv.Bias[k]
+	// Exact baseline per window.
+	rkE := Reorder(w, Exact, o.cfg.NegOrder)
+	var exactOps float64
+	fulls := make([]float64, len(windows))
+	for wi, win := range windows {
+		o.gatherWindow(node, win, k, xbuf)
+		rkE.gatherInto(xbuf, gath)
+		ops, _ := rkE.Op(gath, bias)
+		exactOps += float64(ops)
+		full := float64(bias)
+		for i, x := range xbuf {
+			full += float64(w[i]) * float64(x)
+		}
+		fulls[wi] = full
+	}
+	exactOps /= float64(len(windows))
+	var accepted []Candidate
+	for _, n := range o.cfg.NCandidates {
+		if n >= ksz {
+			continue
+		}
+		rk := Reorder(w, KernelParam{N: n}, o.cfg.NegOrder)
+		// Speculation-prefix sums per window → threshold grid.
+		sums := make([]float64, len(windows))
+		for wi, win := range windows {
+			o.gatherWindow(node, win, k, xbuf)
+			s := float64(bias)
+			for i := 0; i < rk.NumSpec; i++ {
+				s += float64(rk.Weights[i]) * float64(xbuf[rk.Index[i]])
+			}
+			sums[wi] = s
+		}
+		sorted := append([]float64(nil), sums...)
+		sort.Float64s(sorted)
+		for _, q := range o.cfg.ThQuantiles {
+			th := float32(sorted[int(q*float64(len(sorted)-1))])
+			rk.Th = th
+			var ops float64
+			var fn, pos int
+			var fnMass, posMass float64
+			for wi, win := range windows {
+				o.gatherWindow(node, win, k, xbuf)
+				rk.gatherInto(xbuf, gath)
+				op, _ := rk.Op(gath, bias)
+				ops += float64(op)
+				if fulls[wi] >= 0 {
+					pos++
+					posMass += fulls[wi]
+					if sums[wi] <= float64(th) {
+						fn++
+						fnMass += fulls[wi]
+					}
+				}
+			}
+			ops /= float64(len(windows))
+			fnRate := 0.0
+			if pos > 0 {
+				fnRate = float64(fn) / float64(pos)
+			}
+			massRatio := 0.0
+			if posMass > 0 {
+				massRatio = fnMass / posMass
+			}
+			if massRatio <= fnBudget && ops < exactOps {
+				accepted = append(accepted, Candidate{
+					Param: KernelParam{Th: th, N: n},
+					Op:    ops,
+					FN:    fnRate,
+				})
+			}
+		}
+	}
+	sort.Slice(accepted, func(a, b int) bool { return accepted[a].Op < accepted[b].Op })
+	return append(accepted, Candidate{Param: Exact, Op: exactOps})
 }
 
 // windowRef identifies one sampled convolution window.
@@ -555,18 +591,29 @@ func (o *Optimizer) localOptimizationPass(ctx context.Context, paramK map[string
 }
 
 // evalLayer measures (total layer ops on D, accuracy loss) with only
-// `node` running the given parameters and every other layer exact.
+// `node` running the given parameters and every other layer exact. The
+// per-image suffix re-executions are independent (the plans are
+// read-only while they run), so they fan out across the worker pool:
+// features land in index-keyed slots and each image's trace is private,
+// merged afterwards in image order. TotalOps is an integer counter, so
+// the measured op total — and with it every greedy decision downstream —
+// cannot depend on evaluation order or worker count.
 func (o *Optimizer) evalLayer(node string, params LayerParams) (op float64, errLoss float64) {
 	old := o.net.Plans[node]
 	o.setPlan(node, params)
 	defer func() { o.net.Plans[node] = old }()
 
 	feats := make([][]float32, len(o.images))
-	trace := NewNetTrace()
-	for i := range o.images {
-		feats[i] = o.net.ForwardFrom(o.caches[i], node, RunOpts{}, trace)
+	traces := make([]*NetTrace, len(o.images))
+	parallel.For(len(o.images), func(_, i int) {
+		traces[i] = NewNetTrace()
+		feats[i] = o.net.ForwardFrom(o.caches[i], node, RunOpts{}, traces[i])
+	})
+	var ops int64
+	for _, tr := range traces {
+		ops += tr.Layers[node].TotalOps
 	}
-	return float64(trace.Layers[node].TotalOps), o.loss(feats)
+	return float64(ops), o.loss(feats)
 }
 
 // loss measures how much worse feats classify than the exact baseline:
@@ -695,12 +742,13 @@ func (o *Optimizer) adjustParam(current map[string]LayerChoice, remaining map[st
 	return bestNode, bestIdx, true
 }
 
-// evalFull measures the loss with the network's current plans.
+// evalFull measures the loss with the network's current plans. Images
+// fan out across the worker pool into index-keyed feature slots; the
+// loss itself is computed serially over them in image order.
 func (o *Optimizer) evalFull() float64 {
-	feats := make([][]float32, len(o.images))
-	for i, img := range o.images {
-		feats[i] = o.net.Feature(img, RunOpts{}, nil)
-	}
+	feats := parallel.Map(len(o.images), func(_, i int) []float32 {
+		return o.net.Feature(o.images[i], RunOpts{}, nil)
+	})
 	o.lastAcc = train.Accuracy(o.head, feats, o.labels)
 	return o.loss(feats)
 }

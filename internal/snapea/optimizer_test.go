@@ -12,7 +12,7 @@ import (
 
 // pipeline prepares a calibrated, head-trained TinyNet plus optimization
 // and test sets — the full Algorithm 1 precondition.
-func pipeline(t *testing.T, seed uint64) (*models.Model, []*tensor.Tensor, []int, []*tensor.Tensor, []int) {
+func pipeline(t testing.TB, seed uint64) (*models.Model, []*tensor.Tensor, []int, []*tensor.Tensor, []int) {
 	t.Helper()
 	m, err := models.Build("tinynet", models.Options{Seed: seed, Classes: 4})
 	if err != nil {

@@ -1,0 +1,78 @@
+package snapea
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"snapea/internal/nn"
+	"snapea/internal/parallel"
+	"snapea/internal/tensor"
+)
+
+// benchWorkerCounts is the 1/2/4/GOMAXPROCS grid BENCH_PR2.json tracks.
+func benchWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkLayerPlanRun measures the engine's per-kernel sweep on a
+// mixed exact/predictive layer at each worker count.
+func BenchmarkLayerPlanRun(b *testing.B) {
+	conv := nn.NewConv2D(16, 48, 3, 3, 1, 1, 1, true)
+	rng := tensor.NewRNG(71)
+	tensor.FillNorm(conv.Weights, rng, 0, 0.5)
+	for i := range conv.Bias {
+		conv.Bias[i] = float32(rng.Norm() * 0.1)
+	}
+	inShape := tensor.Shape{N: 1, C: 16, H: 20, W: 20}
+	params := AllExact(conv.OutC)
+	for k := 0; k < conv.OutC; k += 2 {
+		params[k] = KernelParam{Th: 0.05, N: 4}
+	}
+	plan := NewLayerPlan("bench", conv, inShape, params, NegByMagnitude)
+	in := tensor.New(tensor.Shape{N: 2, C: 16, H: 20, W: 20})
+	tensor.FillUniform(in, tensor.NewRNG(72), -1, 1)
+
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			parallel.SetLimit(workers)
+			defer parallel.SetLimit(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, tr := plan.Run(in, RunOpts{}); tr.TotalOps == 0 {
+					b.Fatal("no work executed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizerRunCtx measures a full Algorithm 1 run (profiling,
+// local, and global passes) on the TinyNet pipeline at each worker
+// count. The setup — model build, calibration, head training — happens
+// once outside the timer.
+func BenchmarkOptimizerRunCtx(b *testing.B) {
+	m, optImgs, optLabels, _, _ := pipeline(b, 41)
+	ctx := context.Background()
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			parallel.SetLimit(workers)
+			defer parallel.SetLimit(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net := CompileExact(m)
+				opt := NewOptimizer(net, m.Head, optImgs, optLabels, OptConfig{Epsilon: 0.05})
+				if _, err := opt.RunCtx(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
