@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-smoke bench bench-smoke invariance ci clean
+.PHONY: build test race vet fuzz-smoke bench bench-smoke invariance metrics-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -21,15 +21,18 @@ fuzz-smoke:
 	$(GO) test ./internal/snapea -run '^$$' -fuzz 'FuzzLoadParams' -fuzztime 10s
 
 # Worker-count benchmark sweep over the parallelized hot paths; results
-# land in BENCH_PR2.json (name → ns/op, allocs/op, workers).
+# land in BENCH_PR2.json (name → ns/op, allocs/op, workers). The
+# BenchmarkLayerPlanRunMetrics disabled/enabled pair is the guard that
+# disabled-metrics instrumentation stays free on the hot path.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkConv2DForward|BenchmarkForwardGEMM|BenchmarkLayerPlanRun|BenchmarkOptimizerRunCtx' \
 		-benchmem ./internal/nn ./internal/snapea | $(GO) run ./internal/tools/benchjson -o BENCH_PR2.json
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/metrics
 
 # One iteration of every benchmark — catches bit-rotted bench code
 # without paying for real measurements.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/nn ./internal/snapea
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/nn ./internal/snapea ./internal/metrics
 
 # Determinism gate: outputs, traces, and checkpoints must be identical
 # for every worker count, even when the scheduler has real parallelism
@@ -37,9 +40,19 @@ bench-smoke:
 invariance:
 	GOMAXPROCS=2 $(GO) test -race -run WorkerInvariance ./internal/nn ./internal/snapea
 
+# Observability smoke: one real experiment with -metrics, then validate
+# the snapshot parses and the engine/sim counters actually recorded.
+metrics-smoke:
+	$(GO) run ./cmd/snapea-bench -exp fig8 -nets tinynet -test-images 4 -opt-images 4 -train-images 8 \
+		-metrics snapea-metrics-smoke.json >/dev/null
+	$(GO) run ./internal/tools/metricscheck \
+		-nonzero engine.runs,engine.windows,engine.macs_executed,engine.macs_skipped,sim.cycles,sim.macs \
+		snapea-metrics-smoke.json
+	rm -f snapea-metrics-smoke.json
+
 # The tier-1+ gate: everything CI runs before a merge.
-ci: vet build race fuzz-smoke bench-smoke invariance
+ci: vet build race fuzz-smoke bench-smoke invariance metrics-smoke
 
 clean:
 	$(GO) clean ./...
-	rm -f snapea-tune.ckpt snapea-bench.ckpt
+	rm -f snapea-tune.ckpt snapea-bench.ckpt snapea-metrics-smoke.json

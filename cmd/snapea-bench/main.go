@@ -45,8 +45,16 @@ func main() {
 	resume := flag.Bool("resume", false, "skip experiments the checkpoint records as done")
 	faultFlags := cli.FaultFlags(nil)
 	workers := cli.WorkersFlag(nil)
+	obs := cli.ObsFlags(nil)
 	flag.Parse()
 	workers.Apply()
+
+	obsStop, err := obs.Start("snapea-bench")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		cli.Exit(2)
+	}
+	defer obsStop()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
@@ -54,7 +62,7 @@ func main() {
 	faultCfg, err := faultFlags.Config(*seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snapea-bench:", err)
-		os.Exit(2)
+		cli.Exit(2)
 	}
 
 	cfg := experiments.Config{
@@ -88,7 +96,7 @@ func main() {
 		if pick == nil {
 			fmt.Fprintf(os.Stderr, "snapea-bench: unknown experiment %q\n", *exp)
 			flag.Usage()
-			os.Exit(2)
+			cli.Exit(2)
 		}
 		list = []experiments.NamedExperiment{*pick}
 	}
@@ -100,7 +108,7 @@ func main() {
 			ck, err = experiments.LoadBenchCheckpoint(*ckptPath)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "snapea-bench:", err)
-				os.Exit(2)
+				cli.Exit(2)
 			}
 			fmt.Fprintf(os.Stderr, "snapea-bench: resuming, %d experiments already done\n", len(ck.Done))
 		} else {
@@ -124,14 +132,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "; %d experiments checkpointed to %s — rerun with -resume", len(ck.Done), *ckptPath)
 		}
 		fmt.Fprintln(os.Stderr)
-		os.Exit(3)
+		cli.Exit(3)
 	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "snapea-bench: %d experiment(s) failed:\n", len(failures))
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "  %s: %v\n", f.Name, f.Err)
 		}
-		os.Exit(1)
+		cli.Exit(1)
 	}
 	// A complete batch owns its checkpoint; remove it so the next run
 	// starts fresh.

@@ -23,8 +23,16 @@ func main() {
 	classes := flag.Int("classes", 1000, "output classes")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	workers := cli.WorkersFlag(nil)
+	obs := cli.ObsFlags(nil)
 	flag.Parse()
 	workers.Apply()
+
+	obsStop, err := obs.Start("snapea-model")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		cli.Exit(2)
+	}
+	defer obsStop()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
@@ -36,7 +44,7 @@ func main() {
 	m, err := models.Build(*net, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snapea-model:", err)
-		os.Exit(2)
+		cli.Exit(2)
 	}
 	if err := ctx.Err(); err != nil {
 		cli.Fatalf("snapea-model", "%v", err)

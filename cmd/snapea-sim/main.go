@@ -34,8 +34,16 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	faultFlags := cli.FaultFlags(nil)
 	workers := cli.WorkersFlag(nil)
+	obs := cli.ObsFlags(nil)
 	flag.Parse()
 	workers.Apply()
+
+	obsStop, err := obs.Start("snapea-sim")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		cli.Exit(2)
+	}
+	defer obsStop()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
@@ -43,7 +51,7 @@ func main() {
 	faultCfg, err := faultFlags.Config(*seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snapea-sim:", err)
-		os.Exit(2)
+		cli.Exit(2)
 	}
 
 	s := experiments.New(experiments.Config{
@@ -74,7 +82,7 @@ func main() {
 		params = r.Opt.Params
 	default:
 		fmt.Fprintf(os.Stderr, "snapea-sim: unknown mode %q\n", *mode)
-		os.Exit(2)
+		cli.Exit(2)
 	}
 
 	if faultCfg.Enabled() {

@@ -32,8 +32,16 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	faultFlags := cli.FaultFlags(nil)
 	workers := cli.WorkersFlag(nil)
+	obs := cli.ObsFlags(nil)
 	flag.Parse()
 	workers.Apply()
+
+	obsStop, err := obs.Start("snapea-trace")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		cli.Exit(2)
+	}
+	defer obsStop()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
@@ -41,7 +49,7 @@ func main() {
 	faultCfg, err := faultFlags.Config(*seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snapea-trace:", err)
-		os.Exit(2)
+		cli.Exit(2)
 	}
 
 	s := experiments.New(experiments.Config{

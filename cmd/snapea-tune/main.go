@@ -40,8 +40,16 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "checkpoint file (default: <-o path>.ckpt, or snapea-tune.ckpt)")
 	resume := flag.Bool("resume", false, "resume from the checkpoint file")
 	workers := cli.WorkersFlag(nil)
+	obs := cli.ObsFlags(nil)
 	flag.Parse()
 	workers.Apply()
+
+	obsStop, err := obs.Start("snapea-tune")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		cli.Exit(2)
+	}
+	defer obsStop()
 
 	if *ckptPath == "" {
 		if *out != "" {
@@ -57,7 +65,7 @@ func main() {
 	m, err := models.Build(*net, models.Options{Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "snapea-tune:", err)
-		os.Exit(2)
+		cli.Exit(2)
 	}
 	samples := dataset.Generate(40+*optImgs, dataset.Config{HW: m.InputShape.H, Seed: *seed + 1})
 	trainSet, optSet := samples[:40], samples[40:]
@@ -91,11 +99,11 @@ func main() {
 		ck, err = snapea.LoadOptCheckpoint(*ckptPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "snapea-tune:", err)
-			os.Exit(2)
+			cli.Exit(2)
 		}
 		if err := ck.Compatible(*net, *eps); err != nil {
 			fmt.Fprintln(os.Stderr, "snapea-tune:", err)
-			os.Exit(2)
+			cli.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "snapea-tune: resuming from %s (%d profiled, %d locally optimized layers)\n",
 			*ckptPath, len(ck.Profiled), len(ck.Local))
@@ -109,7 +117,7 @@ func main() {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintf(os.Stderr, "snapea-tune: interrupted (%v); progress saved to %s — rerun with -resume to finish\n",
 				err, *ckptPath)
-			os.Exit(3)
+			cli.Exit(3)
 		}
 		cli.Fatalf("snapea-tune", "%v", err)
 	}

@@ -1,0 +1,106 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesWithPerm(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("content = %q, want %q", data, "hello")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fi.Mode().Perm(); got != 0o644 {
+		t.Fatalf("perm = %o, want 0644 (CreateTemp's 0600 must not leak through)", got)
+	}
+}
+
+func TestWriteFileReplacesExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("old"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "new" {
+		t.Fatalf("content = %q, want %q", data, "new")
+	}
+	fi, _ := os.Stat(path)
+	if got := fi.Mode().Perm(); got != 0o644 {
+		t.Fatalf("perm = %o, want 0644 after replacing a 0600 file", got)
+	}
+}
+
+func TestWriteFileLeavesNoTempOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want 1", len(entries))
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}
+
+func TestWriteFileErrorPreservesOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keep.json")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Force the failure at CreateTemp by making the directory read-only;
+	// the existing file must be untouched.
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if os.Getuid() == 0 {
+		t.Skip("root ignores directory write permissions")
+	}
+	if err := WriteFile(path, []byte("clobber"), 0o644); err == nil {
+		t.Fatal("want error writing into read-only directory")
+	}
+	os.Chmod(dir, 0o755)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "precious" {
+		t.Fatalf("old content clobbered: %q", data)
+	}
+}

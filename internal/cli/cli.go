@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -26,20 +27,33 @@ func WorkersFlag(fs *flag.FlagSet) *WorkersFlagGroup {
 	if fs == nil {
 		fs = flag.CommandLine
 	}
-	g := &WorkersFlagGroup{}
+	g := &WorkersFlagGroup{fs: fs}
 	fs.IntVar(&g.n, "workers", 0, "worker goroutines for parallel execution (0 = GOMAXPROCS)")
 	return g
 }
 
 // WorkersFlagGroup holds the parsed -workers value.
 type WorkersFlagGroup struct {
-	n int
+	fs *flag.FlagSet
+	n  int
 }
 
 // Apply installs the parsed worker count as the process-wide pool limit
-// and returns the effective count.
+// and returns the effective count. The limit changes only when -workers
+// was given on the command line: the flag's zero default is
+// indistinguishable from an unset flag by value alone, and blindly
+// applying it would clobber a SNAPEA_WORKERS env default with
+// GOMAXPROCS. An explicit `-workers 0` still resets to GOMAXPROCS.
 func (g *WorkersFlagGroup) Apply() int {
-	parallel.SetLimit(g.n)
+	set := false
+	g.fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			set = true
+		}
+	})
+	if set {
+		parallel.SetLimit(g.n)
+	}
 	return parallel.Limit()
 }
 
@@ -111,8 +125,36 @@ func (g *FaultFlagGroup) Config(defaultSeed uint64) (faults.Config, error) {
 	return cfg, nil
 }
 
-// Fatalf prints "tool: message" to stderr and exits with status 1.
+// Fatalf prints "tool: message" to stderr and exits with status 1,
+// running exit hooks first so observability output is flushed.
 func Fatalf(tool, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, tool+": "+format+"\n", args...)
-	os.Exit(1)
+	Exit(1)
+}
+
+var exitHooks struct {
+	mu  sync.Mutex
+	fns []func()
+}
+
+// OnExit registers fn to run before Exit terminates the process. Hooks
+// run in registration order; they should be idempotent, since a tool
+// may also invoke the same cleanup via defer on the normal return path.
+func OnExit(fn func()) {
+	exitHooks.mu.Lock()
+	exitHooks.fns = append(exitHooks.fns, fn)
+	exitHooks.mu.Unlock()
+}
+
+// Exit runs the registered exit hooks and terminates the process.
+// Tools use it instead of os.Exit so -metrics and -trace output is
+// written even on error exits.
+func Exit(code int) {
+	exitHooks.mu.Lock()
+	fns := exitHooks.fns
+	exitHooks.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+	os.Exit(code)
 }

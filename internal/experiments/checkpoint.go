@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
+
+	"snapea/internal/atomicfile"
+	"snapea/internal/metrics"
 )
 
 // BenchCheckpoint records which experiments of a batch run completed, so
@@ -41,27 +43,15 @@ func LoadBenchCheckpoint(path string) (*BenchCheckpoint, error) {
 	return &ck, nil
 }
 
-// Save writes the checkpoint atomically (temp file + rename).
+// Save writes the checkpoint atomically and durably (temp file, chmod
+// 0644, fsync, rename) so a crash mid-save never leaves a truncated or
+// owner-only checkpoint behind.
 func (ck *BenchCheckpoint) Save(path string) error {
 	data, err := json.MarshalIndent(ck, "", "  ")
 	if err != nil {
 		return fmt.Errorf("experiments: marshal checkpoint: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*")
-	if err != nil {
-		return fmt.Errorf("experiments: save checkpoint: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("experiments: save checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("experiments: save checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := atomicfile.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("experiments: save checkpoint: %w", err)
 	}
 	return nil
@@ -138,7 +128,10 @@ func (s *Suite) RunList(list []NamedExperiment, ck *BenchCheckpoint, save func(*
 		if i > 0 {
 			s.blank()
 		}
-		if err := s.Safe(e.Name, e.Run); err != nil {
+		sp := metrics.StartSpan("experiment/" + e.Name)
+		err := s.Safe(e.Name, e.Run)
+		sp.End()
+		if err != nil {
 			if s.ctx().Err() != nil {
 				return s.Failures()
 			}

@@ -1,0 +1,50 @@
+package metrics
+
+import "testing"
+
+// BenchmarkEnabledCheck measures the disabled-path guard every
+// instrumentation site pays: one atomic load. This is the number the
+// DESIGN.md overhead budget is written against.
+func BenchmarkEnabledCheck(b *testing.B) {
+	Disable()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if Enabled() {
+			n++
+		}
+	}
+	if n != 0 {
+		b.Fatal("metrics unexpectedly enabled")
+	}
+}
+
+// BenchmarkCounterAdd measures a hot counter add (site already holds
+// the *Counter).
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench", nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkCounterLookupAdd measures the full per-layer-run cost: label
+// map, registry lookup, add — what LayerPlan.Run pays once per enabled
+// execution (amortized over every window of the layer).
+func BenchmarkCounterLookupAdd(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < b.N; i++ {
+		r.Counter("engine.macs_executed", Labels{"layer": "conv3/5x5", "mode": "predictive"}).Add(128)
+	}
+}
+
+// BenchmarkHistogramObserve measures one bucketed observation.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("ops", nil, []int64{16, 32, 48, 64, 80, 96, 112})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 127))
+	}
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("engine.windows", Labels{"layer": "conv1", "mode": "exact"})
+	c.Add(3)
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	if again := r.Counter("engine.windows", Labels{"mode": "exact", "layer": "conv1"}); again != c {
+		t.Fatal("same name+labels (any key order) must return the same counter")
+	}
+	g := r.Gauge("suite.networks", nil)
+	g.Set(4)
+	g.Set(2)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Value())
+	}
+	h := r.Histogram("ops", nil, []int64{10, 20, 30})
+	for _, v := range []int64{5, 10, 11, 29, 30, 31, 1000} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot(false)
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	hp := snap.Histograms[0]
+	wantCounts := []int64{2, 1, 2, 2} // ≤10: {5,10}; ≤20: {11}; ≤30: {29,30}; over: {31,1000}
+	if !reflect.DeepEqual(hp.Counts, wantCounts) {
+		t.Fatalf("bucket counts = %v, want %v", hp.Counts, wantCounts)
+	}
+	if hp.Count != 7 || hp.Sum != 5+10+11+29+30+31+1000 {
+		t.Fatalf("count/sum = %d/%d", hp.Count, hp.Sum)
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Register in different orders; export must not care.
+		names := []string{"b.second", "a.first", "c.third"}
+		for _, n := range names {
+			r.Counter(n, Labels{"layer": "x"}).Add(1)
+		}
+		r.Gauge("g", nil).Set(9)
+		r.Histogram("h", Labels{"mode": "exact"}, []int64{1, 2}).Observe(1)
+		return r
+	}
+	r1, r2 := build(), build()
+	var b1, b2 bytes.Buffer
+	if err := r1.Snapshot(false).WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Snapshot(false).WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("deterministic snapshots differ:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	var parsed Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &parsed); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if parsed.Version != SnapshotVersion || len(parsed.Counters) != 3 {
+		t.Fatalf("parsed %+v", parsed)
+	}
+}
+
+func TestRuntimeSectionSeparation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("det", nil).Add(1)
+	r.RuntimeCounter("sched", nil).Add(5)
+	r.RuntimeGauge("limit", nil).Set(8)
+
+	det := r.Snapshot(false)
+	if det.Runtime != nil {
+		t.Fatal("deterministic snapshot must omit the runtime section")
+	}
+	for _, p := range det.Counters {
+		if p.Name == "sched" {
+			t.Fatal("runtime counter leaked into the deterministic section")
+		}
+	}
+	full := r.Snapshot(true)
+	if full.Runtime == nil || len(full.Runtime.Counters) != 1 || full.Runtime.Counters[0].Value != 5 {
+		t.Fatalf("runtime section missing or wrong: %+v", full.Runtime)
+	}
+	if len(full.Runtime.Gauges) != 1 || full.Runtime.Gauges[0].Value != 8 {
+		t.Fatalf("runtime gauges: %+v", full.Runtime.Gauges)
+	}
+}
+
+func TestSpans(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewRegistry()
+	sp := r.StartSpan("stage/profile")
+	sp.End()
+	sp.End() // idempotent
+	var nilSpan *Span
+	nilSpan.End() // safe on nil
+	snap := r.Snapshot(true)
+	if len(snap.Runtime.Spans) != 1 || snap.Runtime.Spans[0].Name != "stage/profile" {
+		t.Fatalf("spans: %+v", snap.Runtime.Spans)
+	}
+	if snap.Runtime.Spans[0].DurMS < 0 {
+		t.Fatalf("negative duration %v", snap.Runtime.Spans[0].DurMS)
+	}
+
+	Disable()
+	if s := r.StartSpan("off"); s != nil {
+		t.Fatal("StartSpan must be nil while disabled")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewRegistry()
+	r.Counter("c", Labels{"layer": "l1"}).Add(2)
+	r.Histogram("h", nil, []int64{4}).Observe(3)
+	sp := r.StartSpan("s")
+	sp.End()
+	var buf bytes.Buffer
+	if err := r.Snapshot(true).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"kind,name,labels,value", "counter,c,layer=l1,2", "histogram,h,;le=4,1", "span,s,"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentRegistrationAndAdds(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared", Labels{"layer": "l"}).Add(1)
+				r.Histogram("hist", nil, []int64{500}).Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared", Labels{"layer": "l"}).Value(); got != 8000 {
+		t.Fatalf("concurrent adds lost updates: %d", got)
+	}
+	if h := r.Snapshot(false).Histograms[0]; h.Count != 8000 {
+		t.Fatalf("histogram count %d, want 8000", h.Count)
+	}
+}
+
+func TestSpanOverflowCounted(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewRegistry()
+	for i := 0; i < maxSpans+5; i++ {
+		r.StartSpan("s").End()
+	}
+	snap := r.Snapshot(true)
+	if len(snap.Runtime.Spans) != maxSpans || snap.Runtime.SpansDropped != 5 {
+		t.Fatalf("spans=%d dropped=%d", len(snap.Runtime.Spans), snap.Runtime.SpansDropped)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	Reset()
+	C("x", nil).Add(1)
+	Reset()
+	snap := Export(false)
+	if len(snap.Counters) != 0 {
+		t.Fatalf("reset left %d counters", len(snap.Counters))
+	}
+}

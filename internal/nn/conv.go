@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"snapea/internal/metrics"
 	"snapea/internal/parallel"
 	"snapea/internal/tensor"
 )
@@ -82,6 +83,14 @@ func (c *Conv2D) Forward(ins []*tensor.Tensor) *tensor.Tensor {
 	parallel.For(s.N*c.OutC, func(_, u int) {
 		c.forwardPlane(u/c.OutC, u%c.OutC, in, out, s, os)
 	})
+	if metrics.Enabled() {
+		// One batch of adds per forward pass (not per plane or window):
+		// the totals are pure functions of the layer geometry, so the
+		// deterministic snapshot cannot see the worker count.
+		metrics.C("nn.conv.forward_calls", nil).Add(1)
+		metrics.C("nn.conv.planes", nil).Add(int64(s.N) * int64(c.OutC))
+		metrics.C("nn.conv.macs", nil).Add(int64(s.N) * int64(c.OutC) * int64(os.H) * int64(os.W) * int64(c.KernelSize()))
+	}
 	return out
 }
 

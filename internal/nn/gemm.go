@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"snapea/internal/metrics"
 	"snapea/internal/parallel"
 	"snapea/internal/tensor"
 )
@@ -104,11 +105,30 @@ func (c *Conv2D) ForwardGEMM(in *tensor.Tensor) *tensor.Tensor {
 	ksz := c.KernelSize()
 	units := s.N * c.Groups
 	scratch := make([]gemmScratch, parallel.Workers(units))
+	// Scratch-reuse accounting is inherently worker-dependent (one
+	// buffer grows per worker, so more workers means more first-touch
+	// allocations) — it lives in the runtime section of the snapshot,
+	// outside the deterministic byte-identity guarantee.
+	var allocC, reuseC *metrics.Counter
+	if metrics.Enabled() {
+		metrics.C("nn.gemm.forward_calls", nil).Add(1)
+		metrics.C("nn.gemm.units", nil).Add(int64(units))
+		allocC = metrics.RC("nn.gemm.scratch_allocs", nil)
+		reuseC = metrics.RC("nn.gemm.scratch_reuse", nil)
+	}
 	parallel.For(units, func(w, u int) {
 		n, g := u/c.Groups, u%c.Groups
 		sc := &scratch[w]
+		hadCol := cap(sc.col)
 		cols, rows, k := Im2ColInto(c, in, n, g, sc.col)
 		sc.col = cols
+		if allocC != nil {
+			if cap(sc.col) != hadCol {
+				allocC.Add(1)
+			} else {
+				reuseC.Add(1)
+			}
+		}
 		if cap(sc.res) < rows*outCg {
 			sc.res = make([]float32, rows*outCg)
 		}

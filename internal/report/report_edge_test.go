@@ -1,0 +1,91 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The fault sweep feeds Spark series straight from measured accuracies,
+// so degenerate series — every cell NaN (all runs failed), a single
+// point, all-equal values, negative ranges — must render placeholders
+// rather than panic or index off the ramp.
+
+func TestSparkAllNaN(t *testing.T) {
+	if s := Spark([]float64{math.NaN(), math.NaN(), math.NaN()}); s != "   " {
+		t.Fatalf("all-NaN series: %q, want three spaces", s)
+	}
+	if s := Spark([]float64{math.Inf(1), math.Inf(-1)}); s != "  " {
+		t.Fatalf("all-Inf series: %q, want two spaces", s)
+	}
+}
+
+func TestSparkSingleValue(t *testing.T) {
+	// One finite point forces lo == hi; the cell must land mid-ramp, not
+	// divide by zero.
+	if s := Spark([]float64{7}); s != "▅" {
+		t.Fatalf("single value: %q", s)
+	}
+}
+
+func TestSparkNaNAroundFlat(t *testing.T) {
+	if s := Spark([]float64{math.NaN(), 2, math.NaN()}); s != " ▅ " {
+		t.Fatalf("NaN around flat value: %q", s)
+	}
+}
+
+func TestSparkNegativeValues(t *testing.T) {
+	s := []rune(Spark([]float64{-3, -2, -1}))
+	if s[0] != '▁' || s[2] != '█' {
+		t.Fatalf("negative series must scale to its own range: %q", string(s))
+	}
+	// Range straddling zero.
+	s = []rune(Spark([]float64{-1, 0, 1}))
+	if s[0] != '▁' || s[2] != '█' {
+		t.Fatalf("straddling series: %q", string(s))
+	}
+}
+
+func TestGeomeanSingleAndZero(t *testing.T) {
+	if g := Geomean([]float64{5}); math.Abs(g-5) > 1e-12 {
+		t.Fatalf("single-element geomean: %g", g)
+	}
+	if g := Geomean([]float64{0, 4}); g != 0 {
+		t.Fatalf("zero input must yield 0, got %g", g)
+	}
+	if g := Geomean([]float64{}); g != 0 {
+		t.Fatalf("empty slice must yield 0, got %g", g)
+	}
+}
+
+func TestBarNegativeValue(t *testing.T) {
+	// A negative value (e.g. a regression in a delta chart) clamps to an
+	// empty bar instead of a negative repeat count panic.
+	b := Bar("neg", -3, 10, 20)
+	if strings.Count(b, "█") != 0 {
+		t.Fatalf("negative value must clamp to empty: %q", b)
+	}
+	if strings.Count(b, "·") != 20 {
+		t.Fatalf("bar width not preserved: %q", b)
+	}
+}
+
+func TestBarNonPositiveMax(t *testing.T) {
+	// max <= 0 (an all-zero chart) falls back to max=1 rather than
+	// dividing by zero.
+	for _, max := range []float64{0, -5} {
+		b := Bar("x", 0.5, max, 20)
+		if n := strings.Count(b, "█"); n != 10 {
+			t.Fatalf("max=%g: %d blocks, want 10 (fallback max=1): %q", max, n, b)
+		}
+	}
+}
+
+func TestBarWidthInvariant(t *testing.T) {
+	for _, v := range []float64{-1, 0, 0.3, 5, 50} {
+		b := Bar("label", v, 10, 16)
+		if got := strings.Count(b, "█") + strings.Count(b, "·"); got != 16 {
+			t.Fatalf("value %g: bar occupies %d cells, want 16: %q", v, got, b)
+		}
+	}
+}

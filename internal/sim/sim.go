@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"snapea/internal/metrics"
 )
 
 // LayerLoad is the workload one layer presents to an accelerator: window
@@ -117,7 +119,31 @@ func SimulateCtx(ctx context.Context, cfg Config, loads []*LayerLoad) (*Result, 
 		res.MACs += lr.MACs
 		res.Energy.add(lr.Energy)
 	}
+	if metrics.Enabled() {
+		recordMetrics(cfg, res)
+	}
 	return res, nil
+}
+
+// recordMetrics feeds one completed simulation into the metrics
+// registry, labelled by machine configuration. The layer loop above is
+// serial, so the float energy total accumulates in a fixed order; the
+// per-run rounding to integer picojoules keeps the counter sums exact
+// and associative across any number of concurrent simulations.
+func recordMetrics(cfg Config, res *Result) {
+	lbl := metrics.Labels{"cfg": cfg.Name}
+	var compute, mem int64
+	for _, lr := range res.Layers {
+		compute += lr.ComputeCycles
+		mem += lr.MemCycles
+	}
+	metrics.C("sim.runs", lbl).Add(1)
+	metrics.C("sim.layers", lbl).Add(int64(len(res.Layers)))
+	metrics.C("sim.cycles", lbl).Add(res.Cycles)
+	metrics.C("sim.compute_cycles", lbl).Add(compute)
+	metrics.C("sim.mem_cycles", lbl).Add(mem)
+	metrics.C("sim.macs", lbl).Add(res.MACs)
+	metrics.C("sim.energy_pj", lbl).Add(int64(res.Energy.Total() + 0.5))
 }
 
 // Speedup returns base.Cycles / r.Cycles.

@@ -5,7 +5,8 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"path/filepath"
+
+	"snapea/internal/atomicfile"
 )
 
 // OptCheckpoint is the resumable state of Algorithm 1. The optimizer
@@ -81,28 +82,15 @@ func LoadOptCheckpoint(path string) (*OptCheckpoint, error) {
 	return &ck, nil
 }
 
-// Save writes the checkpoint atomically (temp file + rename), so a crash
-// mid-write never corrupts an existing checkpoint.
+// Save writes the checkpoint atomically and durably (temp file, chmod
+// 0644, fsync, rename), so a crash mid-write never corrupts an existing
+// checkpoint and the saved file survives power loss.
 func (ck *OptCheckpoint) Save(path string) error {
 	data, err := json.MarshalIndent(ck, "", "  ")
 	if err != nil {
 		return fmt.Errorf("snapea: marshal checkpoint: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
-	if err != nil {
-		return fmt.Errorf("snapea: save checkpoint: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("snapea: save checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("snapea: save checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := atomicfile.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("snapea: save checkpoint: %w", err)
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"snapea/internal/faults"
+	"snapea/internal/metrics"
 	"snapea/internal/nn"
 	"snapea/internal/parallel"
 	"snapea/internal/tensor"
@@ -93,6 +94,9 @@ type LayerPlan struct {
 	outH    int
 	outW    int
 	kernels []compiledKernel
+	// mode labels this plan's metrics: "predictive" when any kernel
+	// speculates, "exact" otherwise. Fixed at compile time.
+	mode string
 
 	// faults is the optional injector corrupting this plan's activation
 	// outputs at run time; nil (the common case) costs one pointer test
@@ -141,6 +145,13 @@ func NewLayerPlanFaulty(node string, conv *nn.Conv2D, inShape tensor.Shape, para
 		Node: node, Conv: conv, Params: params, NegOrder: negOrder,
 		inShape: inShape, outC: conv.OutC, outH: os.H, outW: os.W,
 		kernels: make([]compiledKernel, conv.OutC),
+		mode:    "exact",
+	}
+	for _, kp := range params {
+		if !kp.IsExact() {
+			p.mode = "predictive"
+			break
+		}
 	}
 	inCg := conv.InC / conv.Groups
 	outCg := conv.OutC / conv.Groups
@@ -237,7 +248,48 @@ func (p *LayerPlan) Run(in *tensor.Tensor, opts RunOpts) (*tensor.Tensor, *Layer
 		seq := p.runSeq.Add(1) - 1
 		p.faults.CorruptActivations(fmt.Sprintf("%s#%d", p.Node, seq), out.Data())
 	}
+	if metrics.Enabled() {
+		p.recordMetrics(tr)
+	}
 	return out, tr
+}
+
+// recordMetrics reports one completed layer execution to the metrics
+// registry. It runs after the per-worker trace shards were merged, so
+// every value it adds is the same integer for any worker count — which
+// keeps deterministic metric snapshots byte-identical across -workers
+// (see internal/metrics). Granularity is one counter batch per layer
+// run, never per window, so the enabled path stays a rounding error
+// next to the layer's own MACs; the disabled path costs one atomic
+// load in Run.
+func (p *LayerPlan) recordMetrics(tr *LayerTrace) {
+	lbl := metrics.Labels{"layer": p.Node, "mode": p.mode}
+	metrics.C("engine.runs", lbl).Add(1)
+	metrics.C("engine.windows", lbl).Add(tr.Windows)
+	metrics.C("engine.macs_executed", lbl).Add(tr.TotalOps)
+	metrics.C("engine.macs_skipped", lbl).Add(tr.DenseOps - tr.TotalOps)
+	metrics.C("engine.exact_early_exits", lbl).Add(tr.SignZero)
+	metrics.C("engine.speculative_zeros", lbl).Add(tr.SpecZero)
+	metrics.C("engine.mispredictions", lbl).Add(tr.SpecFN)
+	if tr.Ops != nil {
+		h := metrics.H("engine.window_ops", lbl, windowOpsBounds(tr.KernelSize))
+		for _, op := range tr.Ops {
+			h.Observe(int64(op))
+		}
+	}
+}
+
+// windowOpsBounds buckets per-window MAC counts into eighths of the
+// kernel size (the overflow bucket holds full-length windows).
+func windowOpsBounds(kernelSize int) []int64 {
+	var bounds []int64
+	for i := 1; i < 8; i++ {
+		b := int64(kernelSize) * int64(i) / 8
+		if len(bounds) == 0 || b > bounds[len(bounds)-1] {
+			bounds = append(bounds, b)
+		}
+	}
+	return bounds
 }
 
 // RunChecked is Run behind the validation the hardened pipeline needs:

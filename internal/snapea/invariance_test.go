@@ -26,7 +26,7 @@ func invarianceWorkerCounts() []int {
 
 // invariancePlan compiles a mixed exact/predictive layer plan plus a
 // matching input.
-func invariancePlan(t *testing.T) (*LayerPlan, *tensor.Tensor) {
+func invariancePlan(t testing.TB) (*LayerPlan, *tensor.Tensor) {
 	t.Helper()
 	conv := nn.NewConv2D(8, 16, 3, 3, 1, 1, 1, true)
 	rng := tensor.NewRNG(51)

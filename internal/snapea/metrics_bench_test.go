@@ -1,0 +1,34 @@
+package snapea
+
+import (
+	"testing"
+
+	"snapea/internal/metrics"
+)
+
+// BenchmarkLayerPlanRunMetrics is the overhead guard for the
+// observability layer: the disabled sub-benchmark must match the plain
+// BenchmarkLayerPlanRun numbers (the only added cost is one atomic load
+// per Run), and the enabled one bounds what -metrics costs per layer
+// execution.
+func BenchmarkLayerPlanRunMetrics(b *testing.B) {
+	plan, in := invariancePlan(b)
+	for _, mode := range []string{"disabled", "enabled"} {
+		b.Run(mode, func(b *testing.B) {
+			if mode == "enabled" {
+				metrics.Enable()
+				defer func() {
+					metrics.Disable()
+					metrics.Reset()
+				}()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, tr := plan.Run(in, RunOpts{}); tr.TotalOps == 0 {
+					b.Fatal("no work executed")
+				}
+			}
+		})
+	}
+}

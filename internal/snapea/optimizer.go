@@ -4,8 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
 	"sort"
+	"time"
 
+	"snapea/internal/metrics"
 	"snapea/internal/nn"
 	"snapea/internal/parallel"
 	"snapea/internal/tensor"
@@ -187,6 +190,27 @@ func (o *Optimizer) logf(format string, args ...any) {
 	}
 }
 
+// progress emits one per-stage progress line with an ETA extrapolated
+// from the completed layers. It goes to the configured logger when one
+// is set, and to stderr when observability is on without a logger (the
+// -metrics tools), so long tunes are never silent. ETA lines are purely
+// informational — wall-clock never feeds back into the optimization, so
+// determinism is untouched.
+func (o *Optimizer) progress(stage string, done, total int, start time.Time) {
+	if done <= 0 || (o.log == nil && !metrics.Enabled()) {
+		return
+	}
+	elapsed := time.Since(start)
+	eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+	msg := fmt.Sprintf("optimizer: %s %d/%d layers, elapsed %s, eta %s",
+		stage, done, total, elapsed.Round(time.Second), eta.Round(time.Second))
+	if o.log != nil {
+		o.log("%s", msg)
+	} else {
+		fmt.Fprintln(os.Stderr, msg)
+	}
+}
+
 // Run executes the profiling stage and both optimization passes, returns
 // the chosen parameters, and leaves the optimizer's network compiled
 // with them. It is RunCtx without cancellation.
@@ -215,7 +239,9 @@ func (o *Optimizer) RunCtx(ctx context.Context) (*Result, error) {
 			}
 		}
 	}
+	sp := metrics.StartSpan("tune/prepare")
 	o.prepare()
+	sp.End()
 	if o.cfg.Epsilon <= 0 {
 		// The paper defines the 0%-loss point as the pure exact mode
 		// with the prediction mechanism disabled (Figure 11), not as
@@ -330,9 +356,12 @@ func (o *Optimizer) setPlan(node string, params LayerParams) {
 // — are bit-identical for any worker count. Layers stay sequential,
 // preserving the per-layer checkpoint granularity.
 func (o *Optimizer) kernelProfilingPass(ctx context.Context) (map[string][][]Candidate, error) {
+	sp := metrics.StartSpan("tune/profile")
+	defer sp.End()
+	start := time.Now()
 	fnBudget := math.Min(0.5, o.cfg.FNBudgetScale*o.cfg.Epsilon)
 	out := make(map[string][][]Candidate, len(o.net.PlanOrder))
-	for _, node := range o.net.PlanOrder {
+	for li, node := range o.net.PlanOrder {
 		if o.ckpt != nil {
 			if kands, ok := o.ckpt.Profiled[node]; ok {
 				out[node] = kands
@@ -364,7 +393,16 @@ func (o *Optimizer) kernelProfilingPass(ctx context.Context) (map[string][][]Can
 			o.ckpt.Profiled[node] = kands
 			o.checkpoint()
 		}
+		if metrics.Enabled() {
+			var accepted int64
+			for _, list := range kands {
+				accepted += int64(len(list))
+			}
+			metrics.C("opt.layers_profiled", nil).Add(1)
+			metrics.C("opt.candidates", metrics.Labels{"layer": node}).Add(accepted)
+		}
 		o.logf("optimizer: profiled %s (%d kernels, %d windows)", node, conv.OutC, len(windows))
+		o.progress("profiling", li+1, len(o.net.PlanOrder), start)
 	}
 	return out, nil
 }
@@ -541,8 +579,11 @@ func (rk *ReorderedKernel) gatherInto(orig, dst []float32) {
 // ε. The exact configuration is appended as the guaranteed-feasible
 // fallback. Completed layers are checkpointed and reused on resume.
 func (o *Optimizer) localOptimizationPass(ctx context.Context, paramK map[string][][]Candidate) (map[string][]LayerChoice, error) {
+	sp := metrics.StartSpan("tune/local")
+	defer sp.End()
+	start := time.Now()
 	out := make(map[string][]LayerChoice, len(o.net.PlanOrder))
-	for _, node := range o.net.PlanOrder {
+	for li, node := range o.net.PlanOrder {
 		if o.ckpt != nil {
 			if choices, ok := o.ckpt.Local[node]; ok {
 				out[node] = choices
@@ -585,7 +626,11 @@ func (o *Optimizer) localOptimizationPass(ctx context.Context, paramK map[string
 			o.ckpt.Local[node] = choices
 			o.checkpoint()
 		}
+		if metrics.Enabled() {
+			metrics.C("opt.local_configs", metrics.Labels{"layer": node}).Add(int64(len(choices)))
+		}
 		o.logf("optimizer: local pass %s kept %d configs", node, len(choices))
+		o.progress("local pass", li+1, len(o.net.PlanOrder), start)
 	}
 	return out, nil
 }
@@ -666,6 +711,8 @@ func (o *Optimizer) loss(feats [][]float32) float64 {
 // resume (it is cheap relative to profiling and deterministic, so the
 // resumed result is identical).
 func (o *Optimizer) globalOptimizationPass(ctx context.Context, paramL map[string][]LayerChoice) (*Result, error) {
+	sp := metrics.StartSpan("tune/global")
+	defer sp.End()
 	current := make(map[string]LayerChoice, len(paramL))
 	remaining := make(map[string][]LayerChoice, len(paramL))
 	for node, choices := range paramL {
@@ -689,6 +736,9 @@ func (o *Optimizer) globalOptimizationPass(ctx context.Context, paramL map[strin
 		err = o.evalFull()
 		iters++
 		o.logf("optimizer: global iter %d moved %s, loss %.4f", iters, node, err)
+	}
+	if metrics.Enabled() {
+		metrics.C("opt.global_iters", nil).Add(int64(iters))
 	}
 	res := &Result{
 		Params:      make(map[string]LayerParams, len(current)),

@@ -1,0 +1,82 @@
+// Command metricscheck validates a metrics snapshot written by the
+// snapea-* tools' -metrics flag: the file must parse as snapshot JSON,
+// carry the expected schema version, and — for every counter named with
+// -nonzero — have a positive value summed across its label sets. CI's
+// metrics smoke uses it to catch instrumentation that silently stops
+// recording.
+//
+//	snapea-bench -exp fig8 -metrics snap.json
+//	go run ./internal/tools/metricscheck -nonzero engine.windows,sim.cycles snap.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// snapshot mirrors the fields metricscheck validates; unknown fields
+// (histograms, runtime section) pass through unchecked.
+type snapshot struct {
+	Version  int `json:"version"`
+	Counters []struct {
+		Name   string            `json:"name"`
+		Labels map[string]string `json:"labels,omitempty"`
+		Value  int64             `json:"value"`
+	} `json:"counters"`
+}
+
+func main() {
+	nonzero := flag.String("nonzero", "", "comma-separated counter names that must sum to a positive value")
+	version := flag.Int("version", 1, "required snapshot schema version")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-nonzero a,b,c] <snapshot.json>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fail("%s: not a metrics snapshot: %v", path, err)
+	}
+	if snap.Version != *version {
+		fail("%s: snapshot version %d, want %d", path, snap.Version, *version)
+	}
+
+	sums := make(map[string]int64)
+	for _, c := range snap.Counters {
+		sums[c.Name] += c.Value
+	}
+	bad := 0
+	for _, name := range strings.Split(*nonzero, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		v, ok := sums[name]
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: counter %q missing\n", path, name)
+			bad++
+		case v <= 0:
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: counter %q is %d, want > 0\n", path, name, v)
+			bad++
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: %s ok (%d counters)\n", path, len(snap.Counters))
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "metricscheck: "+format+"\n", args...)
+	os.Exit(1)
+}
