@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-smoke bench bench-smoke invariance metrics-smoke ci clean
+.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-serve invariance metrics-smoke serve-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -50,8 +50,19 @@ metrics-smoke:
 		snapea-metrics-smoke.json
 	rm -f snapea-metrics-smoke.json
 
+# Serving smoke: boot snapea-serve on an ephemeral port, drive it with
+# snapea-load (500 requests, all responses must be 200/429), SIGTERM it,
+# and validate the serve counters — including batch_gt1, proof that
+# micro-batching actually batched under concurrency.
+serve-smoke:
+	GO=$(GO) sh scripts/serve_smoke.sh
+
+# Same smoke, but keep the load summary as the tracked benchmark record.
+bench-serve:
+	GO=$(GO) OUT=BENCH_SERVE.json sh scripts/serve_smoke.sh
+
 # The tier-1+ gate: everything CI runs before a merge.
-ci: vet build race fuzz-smoke bench-smoke invariance metrics-smoke
+ci: vet build race fuzz-smoke bench-smoke invariance metrics-smoke serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,171 @@
+// Command snapea-serve is the batched inference server: it serves
+// compiled SnaPEA networks over HTTP, micro-batching concurrent
+// requests through one Forward per flush so the engine's MAC savings
+// show up as request latency.
+//
+//	snapea-serve -addr localhost:8080 -models tinynet
+//	snapea-serve -models alexnet -params alexnet=alexnet.params.json -batch 16 -batch-wait 5ms
+//	snapea-serve -addr localhost:0 -addr-file serve.addr -metrics serve-metrics.json
+//	snapea-serve -models tinynet -fault-weight-bitflip 1e-4   # chaos serving
+//
+// Endpoints: POST /v1/predict (JSON {"input":[...]} or raw little-endian
+// float32 with Content-Type: application/octet-stream), GET /v1/models,
+// /healthz, /readyz (200 only once the -models preload compiled),
+// /metricsz (full metrics snapshot including the runtime serve section).
+//
+// SIGINT/SIGTERM (or -timeout) triggers graceful shutdown: /readyz flips
+// to 503, the listener stops accepting, queued requests drain through
+// their batches, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"snapea/internal/atomicfile"
+	"snapea/internal/cli"
+	"snapea/internal/metrics"
+	"snapea/internal/models"
+	"snapea/internal/serve"
+	"snapea/internal/snapea"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address (use port 0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts driving an ephemeral port)")
+	modelsFlag := flag.String("models", "tinynet", "comma-separated models to compile at startup; /readyz waits for them")
+	scale := flag.String("scale", "reduced", "model scale: reduced or full")
+	classes := flag.Int("classes", 10, "classifier output classes")
+	seed := flag.Uint64("seed", 42, "deterministic model-build seed")
+	params := flag.String("params", "", "comma-separated model=paramsfile pairs enabling predictive mode per model")
+	negOrder := flag.String("negorder", "magnitude", "negative-weight ordering: magnitude or original")
+	batch := flag.Int("batch", 8, "flush a batch at this many requests")
+	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "flush a partial batch after this long")
+	queue := flag.Int("queue", 64, "per-model queue depth; overflow is rejected with 429")
+	reqTimeout := flag.Duration("request-timeout", 5*time.Second, "per-request deadline (covers queueing and inference)")
+	drain := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget")
+	timeout := flag.Duration("timeout", 0, "stop serving after this duration (0 = until signalled)")
+	faultFlags := cli.FaultFlags(nil)
+	workers := cli.WorkersFlag(nil)
+	obs := cli.ObsFlags(nil)
+	flag.Parse()
+	workers.Apply()
+
+	obsStop, err := obs.Start("snapea-serve")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		cli.Exit(2)
+	}
+	defer obsStop()
+	// The server's own counters and /metricsz are part of its contract,
+	// not an opt-in debug mode.
+	metrics.Enable()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	faultCfg, err := faultFlags.Config(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapea-serve:", err)
+		cli.Exit(2)
+	}
+
+	cfg := serve.Config{
+		Models:         splitList(*modelsFlag),
+		Classes:        *classes,
+		Seed:           *seed,
+		BatchMax:       *batch,
+		BatchWait:      *batchWait,
+		QueueDepth:     *queue,
+		RequestTimeout: *reqTimeout,
+		Faults:         faultCfg,
+	}
+	if *scale == "full" {
+		cfg.Scale = models.Full
+	}
+	switch *negOrder {
+	case "magnitude":
+		cfg.NegOrder = snapea.NegByMagnitude
+	case "original":
+		cfg.NegOrder = snapea.NegOriginal
+	default:
+		cli.Fatalf("snapea-serve", "unknown -negorder %q (want magnitude or original)", *negOrder)
+	}
+	if *params != "" {
+		cfg.ParamsFiles = make(map[string]string)
+		for _, pair := range splitList(*params) {
+			name, path, ok := strings.Cut(pair, "=")
+			if !ok {
+				cli.Fatalf("snapea-serve", "malformed -params entry %q (want model=path)", pair)
+			}
+			cfg.ParamsFiles[name] = path
+		}
+	}
+
+	srv := serve.New(cfg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Fatalf("snapea-serve", "listen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "snapea-serve: listening on http://%s\n", ln.Addr())
+	if *addrFile != "" {
+		if err := atomicfile.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			cli.Fatalf("snapea-serve", "%v", err)
+		}
+	}
+
+	preloadErr := make(chan error, 1)
+	go func() {
+		start := time.Now()
+		if err := srv.Preload(ctx); err != nil {
+			preloadErr <- err
+			return
+		}
+		fmt.Fprintf(os.Stderr, "snapea-serve: ready (%s compiled in %s)\n",
+			*modelsFlag, time.Since(start).Round(time.Millisecond))
+	}()
+
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-preloadErr:
+		cli.Fatalf("snapea-serve", "preload: %v", err)
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			cli.Fatalf("snapea-serve", "serve: %v", err)
+		}
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: flip readiness, stop accepting, drain queued
+	// requests through their batches, then flush observability output.
+	fmt.Fprintln(os.Stderr, "snapea-serve: draining")
+	srv.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "snapea-serve: shutdown: %v\n", err)
+		httpSrv.Close()
+	}
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "snapea-serve: drained")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

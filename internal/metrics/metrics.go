@@ -165,9 +165,10 @@ type gentry struct {
 }
 
 type hentry struct {
-	name   string
-	labels Labels
-	h      Histogram
+	name    string
+	labels  Labels
+	runtime bool
+	h       Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -234,13 +235,25 @@ func (r *Registry) gauge(name string, labels Labels, runtime bool) *Gauge {
 // labels). bounds must be ascending; they are fixed at first
 // registration and later calls ignore the argument.
 func (r *Registry) Histogram(name string, labels Labels, bounds []int64) *Histogram {
+	return r.histogram(name, labels, bounds, false)
+}
+
+// RuntimeHistogram returns a histogram exported only in the runtime
+// section of the snapshot — for distributions that depend on scheduling
+// (queue waits, batch sizes, request latencies) and therefore must not
+// contaminate the deterministic export.
+func (r *Registry) RuntimeHistogram(name string, labels Labels, bounds []int64) *Histogram {
+	return r.histogram(name, labels, bounds, true)
+}
+
+func (r *Registry) histogram(name string, labels Labels, bounds []int64, runtime bool) *Histogram {
 	k := key(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.hists[k]
 	if !ok {
 		b := append([]int64(nil), bounds...)
-		e = &hentry{name: name, labels: cloneLabels(labels)}
+		e = &hentry{name: name, labels: cloneLabels(labels), runtime: runtime}
 		e.h.bounds = b
 		e.h.counts = make([]atomic.Int64, len(b)+1)
 		r.hists[k] = e
@@ -332,6 +345,7 @@ type HistPoint struct {
 type RuntimeSection struct {
 	Counters     []Point      `json:"counters,omitempty"`
 	Gauges       []Point      `json:"gauges,omitempty"`
+	Histograms   []HistPoint  `json:"histograms,omitempty"`
 	Spans        []spanRecord `json:"spans,omitempty"`
 	SpansDropped int64        `json:"spans_dropped,omitempty"`
 }
@@ -394,7 +408,11 @@ func (r *Registry) Snapshot(withRuntime bool) *Snapshot {
 		for i := range e.h.counts {
 			hp.Counts[i] = e.h.counts[i].Load()
 		}
-		snap.Histograms = append(snap.Histograms, hp)
+		if e.runtime {
+			rt.Histograms = append(rt.Histograms, hp)
+		} else {
+			snap.Histograms = append(snap.Histograms, hp)
+		}
 	}
 	if withRuntime {
 		rt.Spans = append([]spanRecord(nil), r.spans...)
@@ -458,6 +476,15 @@ func (s *Snapshot) WriteCSV(w io.Writer) error {
 		for _, p := range s.Runtime.Gauges {
 			row("runtime-gauge", p)
 		}
+		for _, h := range s.Runtime.Histograms {
+			for i, c := range h.Counts {
+				bound := "+inf"
+				if i < len(h.Bounds) {
+					bound = fmt.Sprint(h.Bounds[i])
+				}
+				fmt.Fprintf(&sb, "runtime-histogram,%s,%s;le=%s,%d\n", h.Name, labelString(h.Labels), bound, c)
+			}
+		}
 		for _, sp := range s.Runtime.Spans {
 			fmt.Fprintf(&sb, "span,%s,,%d\n", sp.Name, int64(sp.DurMS*1e3)) // microseconds
 		}
@@ -499,6 +526,11 @@ func RG(name string, labels Labels) *Gauge { return Default.RuntimeGauge(name, l
 // H returns the histogram (name, labels) from Default.
 func H(name string, labels Labels, bounds []int64) *Histogram {
 	return Default.Histogram(name, labels, bounds)
+}
+
+// RH returns the runtime histogram (name, labels) from Default.
+func RH(name string, labels Labels, bounds []int64) *Histogram {
+	return Default.RuntimeHistogram(name, labels, bounds)
 }
 
 // StartSpan begins a span on Default (nil, and free, when disabled).

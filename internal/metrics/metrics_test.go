@@ -76,6 +76,34 @@ func TestSnapshotDeterministicBytes(t *testing.T) {
 	}
 }
 
+func TestRuntimeHistogramSeparation(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("det.h", nil, []int64{1}).Observe(1)
+	rh := r.RuntimeHistogram("serve.batch_size", nil, []int64{1, 4})
+	rh.Observe(1)
+	rh.Observe(3)
+
+	det := r.Snapshot(false)
+	if len(det.Histograms) != 1 || det.Histograms[0].Name != "det.h" {
+		t.Fatalf("deterministic histograms = %+v, want only det.h", det.Histograms)
+	}
+	full := r.Snapshot(true)
+	if len(full.Runtime.Histograms) != 1 {
+		t.Fatalf("runtime histograms = %+v, want 1", full.Runtime.Histograms)
+	}
+	hp := full.Runtime.Histograms[0]
+	if hp.Name != "serve.batch_size" || hp.Count != 2 || hp.Sum != 4 {
+		t.Fatalf("runtime histogram = %+v", hp)
+	}
+	var buf bytes.Buffer
+	if err := full.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "runtime-histogram,serve.batch_size,;le=1,1") {
+		t.Fatalf("CSV missing runtime-histogram rows:\n%s", buf.String())
+	}
+}
+
 func TestRuntimeSectionSeparation(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("det", nil).Add(1)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -87,6 +88,32 @@ func Geomean(xs []float64) float64 {
 		acc += math.Log(x)
 	}
 	return math.Exp(acc / float64(len(xs)))
+}
+
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation between closest ranks; xs need not be sorted and is not
+// modified. Empty input yields NaN. The load generator reports request
+// latency with it (p50/p95/p99).
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
 }
 
 // X formats a ratio as "1.28x".

@@ -89,3 +89,26 @@ func TestBarWidthInvariant(t *testing.T) {
 		}
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("empty input must yield NaN")
+	}
+	xs := []float64{40, 10, 20, 30} // unsorted on purpose
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {-1, 10}, {2, 40},
+		{0.5, 25}, {0.25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("Percentile(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if xs[0] != 40 {
+		t.Fatal("Percentile must not reorder its input")
+	}
+	one := []float64{7}
+	if got := Percentile(one, 0.99); got != 7 {
+		t.Fatalf("single element percentile = %v", got)
+	}
+}

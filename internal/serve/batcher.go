@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"snapea/internal/metrics"
+	"snapea/internal/snapea"
+	"snapea/internal/tensor"
+)
+
+// Errors the admission and batching layer returns; the HTTP layer maps
+// them to status codes (429, 504, 503).
+var (
+	ErrQueueFull    = errors.New("serve: queue full")
+	ErrShuttingDown = errors.New("serve: shutting down")
+)
+
+// request is one admitted prediction waiting for a batch slot. The
+// response channel is buffered so the dispatcher never blocks on a
+// handler that already gave up.
+type request struct {
+	ctx   context.Context
+	input *tensor.Tensor // {1,C,H,W}, owned by the batcher once enqueued
+	enq   time.Time
+	resp  chan response
+}
+
+// response carries one request's result back from the dispatcher.
+type response struct {
+	logits    []float32
+	class     int
+	batch     int           // live size of the batch this request ran in
+	queueWait time.Duration // enqueue → dispatch
+	inferTime time.Duration // batch Forward wall clock
+	reduction float64       // batch-level MAC reduction (SnaPEA savings)
+	err       error
+}
+
+// batcher is the per-(model, mode) dynamic micro-batching scheduler:
+// requests queue into a bounded channel, and a single dispatcher
+// goroutine flushes a batch when it reaches batchMax items or batchWait
+// has elapsed since the first queued item. One dispatcher per compiled
+// network keeps batch execution serial per model — the intra-batch
+// parallelism comes from the engine's worker pool — while different
+// models batch and execute independently.
+type batcher struct {
+	net   *snapea.Network
+	pool  *tensorPool
+	label metrics.Labels
+
+	batchMax  int
+	batchWait time.Duration
+
+	mu      sync.RWMutex // guards closing vs. enqueue
+	closing bool
+	queue   chan *request
+	done    chan struct{}
+}
+
+func newBatcher(net *snapea.Network, pool *tensorPool, label metrics.Labels, batchMax, queueDepth int, batchWait time.Duration) *batcher {
+	if batchMax < 1 {
+		batchMax = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if batchWait <= 0 {
+		batchWait = 2 * time.Millisecond
+	}
+	b := &batcher{
+		net:       net,
+		pool:      pool,
+		label:     label,
+		batchMax:  batchMax,
+		batchWait: batchWait,
+		queue:     make(chan *request, queueDepth),
+		done:      make(chan struct{}),
+	}
+	go b.dispatch()
+	return b
+}
+
+// enqueue admits a request or rejects it immediately: ErrQueueFull when
+// the bounded queue is at depth (the caller answers 429), ErrShuttingDown
+// once close began. An admitted request is guaranteed a response on its
+// resp channel — the drain contract.
+func (b *batcher) enqueue(req *request) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closing {
+		return ErrShuttingDown
+	}
+	select {
+	case b.queue <- req:
+		if metrics.Enabled() {
+			metrics.RG("serve.queue_depth", b.label).Set(int64(len(b.queue)))
+		}
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// close stops admission, lets the dispatcher drain every already-accepted
+// request, and waits for it to exit.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closing {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closing = true
+	b.mu.Unlock()
+	close(b.queue)
+	<-b.done
+}
+
+// dispatch is the batcher's single scheduler goroutine.
+func (b *batcher) dispatch() {
+	defer close(b.done)
+	for {
+		first, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch := []*request{first}
+		timer := time.NewTimer(b.batchWait)
+	collect:
+		for len(batch) < b.batchMax {
+			select {
+			case req, ok := <-b.queue:
+				if !ok {
+					// Queue closed: flush what we have; the next blocking
+					// receive observes the close and exits.
+					break collect
+				}
+				batch = append(batch, req)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		b.runBatch(batch)
+	}
+}
+
+// runBatch drops requests whose deadline expired while queued (they get
+// a 504; the batch proceeds without them), concatenates the survivors
+// into one {N,C,H,W} tensor, runs a single Forward, and fans the outputs
+// back per request.
+func (b *batcher) runBatch(batch []*request) {
+	dispatched := time.Now()
+	live := batch[:0]
+	for _, req := range batch {
+		if err := req.ctx.Err(); err != nil {
+			b.pool.Put(req.input)
+			req.input = nil
+			req.resp <- response{err: context.DeadlineExceeded}
+			if metrics.Enabled() {
+				metrics.RC("serve.queue_timeouts", b.label).Add(1)
+			}
+			continue
+		}
+		live = append(live, req)
+	}
+	if metrics.Enabled() {
+		metrics.RG("serve.queue_depth", b.label).Set(int64(len(b.queue)))
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	in := live[0].input.Shape()
+	bt := b.pool.Get(tensor.Shape{N: len(live), C: in.C, H: in.H, W: in.W})
+	per := in.C * in.H * in.W
+	for i, req := range live {
+		copy(bt.Data()[i*per:(i+1)*per], req.input.Data())
+		b.pool.Put(req.input)
+		req.input = nil
+	}
+
+	trace := snapea.NewNetTrace()
+	start := time.Now()
+	out, err := b.forward(bt, trace)
+	inferTime := time.Since(start)
+	b.pool.Put(bt)
+
+	if metrics.Enabled() {
+		metrics.RC("serve.batches", b.label).Add(1)
+		if len(live) > 1 {
+			metrics.RC("serve.batch_gt1", b.label).Add(1)
+		}
+		metrics.RH("serve.batch_size", b.label, []int64{1, 2, 4, 8, 16, 32, 64}).Observe(int64(len(live)))
+	}
+
+	var reduction float64
+	if err == nil {
+		reduction = trace.Reduction()
+	}
+	for i, req := range live {
+		r := response{
+			batch:     len(live),
+			queueWait: dispatched.Sub(req.enq),
+			inferTime: inferTime,
+			reduction: reduction,
+			err:       err,
+		}
+		if err == nil {
+			view := out.Batch(i)
+			r.logits = append([]float32(nil), view.Data()...)
+			r.class = view.ArgMax()
+		}
+		if metrics.Enabled() {
+			metrics.RH("serve.queue_wait_us", b.label, latencyBoundsUS).Observe(r.queueWait.Microseconds())
+		}
+		req.resp <- r
+	}
+}
+
+// forward runs the batch through the compiled network, converting an
+// engine panic (the hardened path for malformed state) into an error so
+// one poisoned batch cannot take the dispatcher down.
+func (b *batcher) forward(in *tensor.Tensor, trace *snapea.NetTrace) (out *tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("serve: inference failed: %v", r)
+		}
+	}()
+	return b.net.Forward(in, snapea.RunOpts{}, trace), nil
+}
+
+// latencyBoundsUS buckets microsecond latencies from 100µs to ~10s.
+var latencyBoundsUS = []int64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 500000, 1000000, 2500000, 5000000, 10000000}

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"snapea/internal/models"
+	"snapea/internal/snapea"
+	"snapea/internal/tensor"
+)
+
+// testNet compiles TinyNet in exact mode for batcher-level tests.
+func testNet(t *testing.T) (*snapea.Network, tensor.Shape) {
+	t.Helper()
+	m, err := models.Build("tinynet", models.Options{Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snapea.CompileExact(m), m.InputShape
+}
+
+func testInput(pool *tensorPool, shape tensor.Shape, seed uint64) *tensor.Tensor {
+	in := pool.Get(shape)
+	tensor.FillNorm(in, tensor.NewRNG(seed), 0, 1)
+	return in
+}
+
+// TestPartialBatchFlushOnWait: fewer requests than BatchMax must still
+// flush once BatchWait elapses — the latency bound of the scheduler.
+func TestPartialBatchFlushOnWait(t *testing.T) {
+	net, shape := testNet(t)
+	pool := newTensorPool()
+	b := newBatcher(net, pool, nil, 64, 64, 20*time.Millisecond)
+	defer b.close()
+
+	const n = 3
+	reqs := make([]*request, n)
+	for i := range reqs {
+		reqs[i] = &request{
+			ctx:   context.Background(),
+			input: testInput(pool, shape, uint64(i+1)),
+			enq:   time.Now(),
+			resp:  make(chan response, 1),
+		}
+		if err := b.enqueue(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, req := range reqs {
+		select {
+		case resp := <-req.resp:
+			if resp.err != nil {
+				t.Fatalf("request %d: %v", i, resp.err)
+			}
+			if resp.batch != n {
+				t.Fatalf("request %d ran in batch of %d, want %d", i, resp.batch, n)
+			}
+			if len(resp.logits) != 10 {
+				t.Fatalf("request %d: %d logits", i, len(resp.logits))
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d never flushed", i)
+		}
+	}
+}
+
+// TestQueueOverflow: enqueues beyond QueueDepth while the dispatcher is
+// busy running batches must fail fast with ErrQueueFull — never block,
+// never drop silently.
+func TestQueueOverflow(t *testing.T) {
+	net, shape := testNet(t)
+	pool := newTensorPool()
+	// BatchMax 1: the dispatcher spends ≥ one Forward per queued item,
+	// while an enqueue costs nanoseconds, so a tight admission loop
+	// overfills the 4-slot queue within a handful of iterations.
+	b := newBatcher(net, pool, nil, 1, 4, time.Minute)
+	defer b.close()
+
+	mk := func() *request {
+		return &request{
+			ctx:   context.Background(),
+			input: testInput(pool, shape, 9),
+			enq:   time.Now(),
+			resp:  make(chan response, 1),
+		}
+	}
+	accepted := []*request{}
+	var rejected int
+	for i := 0; i < 10000; i++ {
+		req := mk()
+		if err := b.enqueue(req); err != nil {
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("want ErrQueueFull, got %v", err)
+			}
+			rejected++
+			break
+		}
+		accepted = append(accepted, req)
+	}
+	if rejected == 0 {
+		t.Fatal("queue never overflowed")
+	}
+	// Every accepted request must still complete once the batch flushes.
+	b.close()
+	for i, req := range accepted {
+		select {
+		case resp := <-req.resp:
+			if resp.err != nil {
+				t.Fatalf("accepted request %d: %v", i, resp.err)
+			}
+		default:
+			t.Fatalf("accepted request %d got no response after close", i)
+		}
+	}
+}
+
+// TestQueuedDeadlineExpires: a request whose context is done by dispatch
+// time gets context.DeadlineExceeded (the HTTP layer's 504) while the
+// rest of its batch proceeds and reports the live batch size.
+func TestQueuedDeadlineExpires(t *testing.T) {
+	net, shape := testNet(t)
+	pool := newTensorPool()
+	b := newBatcher(net, pool, nil, 64, 64, 50*time.Millisecond)
+	defer b.close()
+
+	deadCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dead := &request{ctx: deadCtx, input: testInput(pool, shape, 1), enq: time.Now(), resp: make(chan response, 1)}
+	live := &request{ctx: context.Background(), input: testInput(pool, shape, 2), enq: time.Now(), resp: make(chan response, 1)}
+	if err := b.enqueue(dead); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.enqueue(live); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := <-dead.resp
+	if !errors.Is(resp.err, context.DeadlineExceeded) {
+		t.Fatalf("dead request err = %v, want DeadlineExceeded", resp.err)
+	}
+	resp = <-live.resp
+	if resp.err != nil {
+		t.Fatalf("live request: %v", resp.err)
+	}
+	if resp.batch != 1 {
+		t.Fatalf("live batch size = %d, want 1 (dead request dropped)", resp.batch)
+	}
+}
+
+// TestCloseDrainsAccepted: close must answer exactly the accepted
+// requests — every enqueue that returned nil gets a response, and
+// post-close enqueues are refused.
+func TestCloseDrainsAccepted(t *testing.T) {
+	net, shape := testNet(t)
+	pool := newTensorPool()
+	b := newBatcher(net, pool, nil, 4, 32, 5*time.Millisecond)
+
+	const n = 17
+	var accepted []*request
+	for i := 0; i < n; i++ {
+		req := &request{
+			ctx:   context.Background(),
+			input: testInput(pool, shape, uint64(i+1)),
+			enq:   time.Now(),
+			resp:  make(chan response, 1),
+		}
+		if err := b.enqueue(req); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		accepted = append(accepted, req)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b.close()
+	}()
+	for i, req := range accepted {
+		select {
+		case resp := <-req.resp:
+			if resp.err != nil {
+				t.Fatalf("accepted request %d: %v", i, resp.err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("accepted request %d lost in shutdown", i)
+		}
+	}
+	wg.Wait()
+
+	late := &request{ctx: context.Background(), input: testInput(pool, shape, 99), enq: time.Now(), resp: make(chan response, 1)}
+	if err := b.enqueue(late); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-close enqueue err = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestBatchMaxFlush: BatchMax requests flush immediately without waiting
+// out BatchWait, and a surplus request lands in the next batch.
+func TestBatchMaxFlush(t *testing.T) {
+	net, shape := testNet(t)
+	pool := newTensorPool()
+	b := newBatcher(net, pool, nil, 2, 64, time.Minute)
+	defer b.close()
+
+	reqs := make([]*request, 3)
+	for i := range reqs {
+		reqs[i] = &request{
+			ctx:   context.Background(),
+			input: testInput(pool, shape, uint64(i+1)),
+			enq:   time.Now(),
+			resp:  make(chan response, 1),
+		}
+		if err := b.enqueue(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// BatchWait is a minute: only a size-triggered flush can answer the
+	// first two requests.
+	for i := 0; i < 2; i++ {
+		select {
+		case resp := <-reqs[i].resp:
+			if resp.err != nil || resp.batch != 2 {
+				t.Fatalf("request %d: batch=%d err=%v, want batch=2", i, resp.batch, resp.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d not flushed by batch-size trigger", i)
+		}
+	}
+	// The third request flushes as its own size-1 batch only on close.
+	b.close()
+	resp := <-reqs[2].resp
+	if resp.err != nil || resp.batch != 1 {
+		t.Fatalf("surplus request: batch=%d err=%v", resp.batch, resp.err)
+	}
+}

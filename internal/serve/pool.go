@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"sync"
+
+	"snapea/internal/metrics"
+	"snapea/internal/tensor"
+)
+
+// tensorPool recycles tensors of known shapes across requests — the
+// serving analogue of Conv2D.ForwardGEMM's pooled im2col scratch. The
+// hot path allocates one input tensor per request and one batch tensor
+// per flush; at a few thousand requests per second that churn dominates
+// the garbage collector's work, so both come from here. Callers must
+// fully overwrite a pooled tensor (the pool does not zero) and must not
+// retain a reference after Put.
+type tensorPool struct {
+	mu    sync.Mutex
+	pools map[tensor.Shape]*sync.Pool
+}
+
+func newTensorPool() *tensorPool {
+	return &tensorPool{pools: make(map[tensor.Shape]*sync.Pool)}
+}
+
+// Get returns a tensor of the given shape, reusing a pooled one when
+// available. Contents are undefined.
+func (p *tensorPool) Get(s tensor.Shape) *tensor.Tensor {
+	p.mu.Lock()
+	sp, ok := p.pools[s]
+	if !ok {
+		sp = &sync.Pool{}
+		p.pools[s] = sp
+	}
+	p.mu.Unlock()
+	if v := sp.Get(); v != nil {
+		if metrics.Enabled() {
+			metrics.RC("serve.tensor_pool.hits", nil).Add(1)
+		}
+		return v.(*tensor.Tensor)
+	}
+	if metrics.Enabled() {
+		metrics.RC("serve.tensor_pool.misses", nil).Add(1)
+	}
+	return tensor.New(s)
+}
+
+// Put returns a tensor to the pool for its shape.
+func (p *tensorPool) Put(t *tensor.Tensor) {
+	if t == nil {
+		return
+	}
+	p.mu.Lock()
+	sp, ok := p.pools[t.Shape()]
+	if !ok {
+		sp = &sync.Pool{}
+		p.pools[t.Shape()] = sp
+	}
+	p.mu.Unlock()
+	sp.Put(t)
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"snapea/internal/faults"
+	"snapea/internal/metrics"
+	"snapea/internal/models"
+	"snapea/internal/snapea"
+	"snapea/internal/tensor"
+)
+
+// Mode names the two execution modes a model can be served in.
+const (
+	ModeExact      = "exact"
+	ModePredictive = "predictive"
+)
+
+// modelKey identifies one compiled network in the registry. The
+// server-wide scale/seed/NegOrder and the per-model params file are part
+// of the server configuration, so (model, mode) is the full key within
+// one server.
+type modelKey struct {
+	Model string
+	Mode  string
+}
+
+func (k modelKey) String() string { return k.Model + "/" + k.Mode }
+
+// entry is one registry slot. The first requester compiles; everyone
+// else waits on ready — singleflight-style, so a burst of cold requests
+// for the same model compiles exactly once. Both success and failure are
+// cached: an unknown model name stays wrong on retry, and caching the
+// error keeps a misconfigured client from forcing a rebuild per request.
+type entry struct {
+	key   modelKey
+	ready chan struct{}
+
+	// Valid after ready is closed.
+	net     *snapea.Network
+	inShape tensor.Shape // single-image input shape (N=1)
+	classes int
+	batcher *batcher
+	err     error
+}
+
+// registry lazily compiles and caches snapea.Network plans and their
+// batchers.
+type registry struct {
+	cfg  Config
+	pool *tensorPool
+
+	mu      sync.Mutex
+	entries map[modelKey]*entry
+	closed  bool
+
+	// compiles counts actual compilations (not cache hits); the
+	// singleflight tests read it.
+	compiles atomic.Int64
+}
+
+func newRegistry(cfg Config, pool *tensorPool) *registry {
+	return &registry{cfg: cfg, pool: pool, entries: make(map[modelKey]*entry)}
+}
+
+// get returns the ready entry for key, compiling it on first use. It
+// blocks until the compile finishes or ctx is done.
+func (r *registry) get(ctx context.Context, key modelKey) (*entry, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	e, ok := r.entries[key]
+	if !ok {
+		e = &entry{key: key, ready: make(chan struct{})}
+		r.entries[key] = e
+		r.mu.Unlock()
+		if metrics.Enabled() {
+			metrics.RC("serve.compile_cache.misses", nil).Add(1)
+		}
+		r.compile(e)
+		return e.result()
+	}
+	r.mu.Unlock()
+	if metrics.Enabled() {
+		metrics.RC("serve.compile_cache.hits", nil).Add(1)
+	}
+	select {
+	case <-e.ready:
+		return e.result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (e *entry) result() (*entry, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// compile builds and compiles the entry's network, then closes ready.
+func (r *registry) compile(e *entry) {
+	defer close(e.ready)
+	r.compiles.Add(1)
+	sp := metrics.StartSpan("serve/compile/" + e.key.String())
+	defer sp.End()
+
+	cfg := r.cfg
+	m, err := models.Build(e.key.Model, models.Options{Scale: cfg.Scale, Classes: cfg.Classes, Seed: cfg.Seed})
+	if err != nil {
+		e.err = fmt.Errorf("%w: %v", errUnknownModel, err)
+		return
+	}
+	var inj *faults.Injector
+	if cfg.Faults.Enabled() {
+		inj = faults.New(cfg.Faults)
+	}
+	switch e.key.Mode {
+	case ModeExact:
+		e.net = snapea.CompileFaulty(m, nil, cfg.NegOrder, inj)
+	case ModePredictive:
+		path, ok := cfg.ParamsFiles[e.key.Model]
+		if !ok {
+			e.err = fmt.Errorf("%w: no params file registered for model %q", errBadRequest, e.key.Model)
+			return
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			e.err = fmt.Errorf("serve: params %s: %w", path, err)
+			return
+		}
+		f, err := snapea.ParseParams(data)
+		if err != nil {
+			e.err = err
+			return
+		}
+		if err := f.Check(m); err != nil {
+			e.err = err
+			return
+		}
+		params := make(map[string]snapea.LayerParams, len(f.Layers))
+		for node, p := range f.Layers {
+			params[node] = p
+		}
+		e.net = snapea.CompileFaulty(m, params, cfg.NegOrder, inj)
+	default:
+		e.err = fmt.Errorf("%w: unknown mode %q (want %s or %s)", errBadRequest, e.key.Mode, ModeExact, ModePredictive)
+		return
+	}
+	e.inShape = m.InputShape
+	e.classes = cfg.Classes
+	if e.classes == 0 {
+		e.classes = 10
+	}
+	e.batcher = newBatcher(e.net, r.pool,
+		metrics.Labels{"model": e.key.Model, "mode": e.key.Mode},
+		cfg.BatchMax, cfg.QueueDepth, cfg.BatchWait)
+}
+
+// list returns the successfully compiled entries, sorted by key, for
+// /v1/models.
+func (r *registry) list() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*entry
+	for _, e := range r.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out = append(out, e)
+			}
+		default:
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key.String() < out[j].key.String() })
+	return out
+}
+
+// close stops admission on every batcher and drains them. New get calls
+// fail with ErrShuttingDown.
+func (r *registry) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		<-e.ready
+		if e.batcher != nil {
+			e.batcher.close()
+		}
+	}
+}

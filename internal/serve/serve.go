@@ -1,0 +1,410 @@
+// Package serve is the batched inference serving subsystem: a
+// stdlib-only HTTP server that runs compiled SnaPEA networks under
+// concurrent load, making the engine's compute savings observable as
+// request latency.
+//
+// Architecture:
+//
+//   - a model registry lazily compiles and caches snapea.Network plans
+//     keyed by (model, mode) with singleflight dedup, so a burst of cold
+//     requests compiles once (registry.go);
+//   - a per-model dynamic micro-batching scheduler queues requests and
+//     flushes when the batch reaches BatchMax items or BatchWait has
+//     elapsed, runs one batched Forward on the shared worker pool, and
+//     fans results back per request (batcher.go);
+//   - admission control bounds each queue; overflow is rejected
+//     immediately (the HTTP layer answers 429 with Retry-After), and a
+//     request whose deadline expires while queued gets a 504 while its
+//     batch proceeds without it;
+//   - graceful shutdown stops admission and drains every accepted
+//     request before the dispatchers exit.
+//
+// All serve metrics are runtime metrics: batch composition depends on
+// arrival timing and scheduling, so none of them may enter the
+// deterministic snapshot section (see DESIGN.md, "Serving").
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"snapea/internal/faults"
+	"snapea/internal/metrics"
+	"snapea/internal/models"
+	"snapea/internal/snapea"
+	"snapea/internal/tensor"
+)
+
+// Sentinel errors the HTTP layer maps to statuses: errUnknownModel to
+// 404, errBadRequest to 400.
+var (
+	errUnknownModel = errors.New("serve: unknown model")
+	errBadRequest   = errors.New("serve: bad request")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Models to compile at startup; /readyz reports 200 only after all
+	// of them are ready. Other models still compile on demand.
+	Models []string
+	// Scale/Classes/Seed parameterize model builds (see internal/models).
+	Scale   models.Scale
+	Classes int
+	Seed    uint64
+	// NegOrder selects the engine's negative-weight ordering.
+	NegOrder snapea.NegOrder
+	// ParamsFiles maps model names to Algorithm 1 parameter files for
+	// predictive-mode serving.
+	ParamsFiles map[string]string
+	// BatchMax flushes a batch at this many requests (default 8).
+	BatchMax int
+	// BatchWait flushes a partial batch this long after its first
+	// request was dequeued (default 2ms).
+	BatchWait time.Duration
+	// QueueDepth bounds each model's request queue; an arrival beyond it
+	// is rejected with 429 (default 64).
+	QueueDepth int
+	// RequestTimeout is the per-request deadline applied on top of the
+	// client's context (default 5s; <0 disables).
+	RequestTimeout time.Duration
+	// Faults, when enabled, compiles every network through the fault
+	// injector — chaos testing for the serving path.
+	Faults faults.Config
+}
+
+func (c Config) normalize() Config {
+	if c.BatchMax == 0 {
+		c.BatchMax = 8
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.Classes == 0 {
+		c.Classes = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Server is the inference server. It implements http.Handler; the owner
+// wires it into an http.Server (or httptest) and drives the lifecycle:
+// Preload, serve traffic, then BeginDrain + http.Server.Shutdown +
+// Close.
+type Server struct {
+	cfg      Config
+	reg      *registry
+	pool     *tensorPool
+	mux      *http.ServeMux
+	ready    atomic.Bool
+	draining atomic.Bool
+}
+
+// New builds a Server. Call Preload to compile the configured models and
+// flip readiness.
+func New(cfg Config) *Server {
+	cfg = cfg.normalize()
+	pool := newTensorPool()
+	s := &Server{
+		cfg:  cfg,
+		reg:  newRegistry(cfg, pool),
+		pool: pool,
+		mux:  http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	if len(cfg.Models) == 0 {
+		s.ready.Store(true)
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Preload compiles every configured model in exact mode (plus predictive
+// for models with a registered params file) and then marks the server
+// ready. Returns the first compile error.
+func (s *Server) Preload(ctx context.Context) error {
+	for _, name := range s.cfg.Models {
+		if _, err := s.reg.get(ctx, modelKey{Model: name, Mode: ModeExact}); err != nil {
+			return err
+		}
+		if _, ok := s.cfg.ParamsFiles[name]; ok {
+			if _, err := s.reg.get(ctx, modelKey{Model: name, Mode: ModePredictive}); err != nil {
+				return err
+			}
+		}
+	}
+	s.ready.Store(true)
+	return nil
+}
+
+// BeginDrain flips /readyz to 503 so load balancers stop routing here,
+// without yet refusing traffic. Call it before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close stops admission and drains every accepted request. Call after
+// http.Server.Shutdown has returned (no in-flight handlers remain).
+func (s *Server) Close() { s.reg.close() }
+
+// predictResponse is the JSON reply of /v1/predict.
+type predictResponse struct {
+	Model        string    `json:"model"`
+	Mode         string    `json:"mode"`
+	Class        int       `json:"class"`
+	Logits       []float32 `json:"logits"`
+	BatchSize    int       `json:"batch_size"`
+	QueueUS      int64     `json:"queue_us"`
+	InferUS      int64     `json:"infer_us"`
+	TotalUS      int64     `json:"total_us"`
+	MacReduction float64   `json:"mac_reduction"`
+}
+
+// errorResponse is the JSON reply on any non-2xx status.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case !s.ready.Load():
+		http.Error(w, "compiling models", http.StatusServiceUnavailable)
+	default:
+		io.WriteString(w, "ready\n")
+	}
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	metrics.Export(true).WriteJSON(w)
+}
+
+// modelInfo is one entry of /v1/models.
+type modelInfo struct {
+	Model      string `json:"model"`
+	Mode       string `json:"mode"`
+	InputShape string `json:"input_shape"`
+	InputElems int    `json:"input_elems"`
+	Classes    int    `json:"classes"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	var out []modelInfo
+	for _, e := range s.reg.list() {
+		out = append(out, modelInfo{
+			Model:      e.key.Model,
+			Mode:       e.key.Mode,
+			InputShape: e.inShape.String(),
+			InputElems: e.inShape.Elems(),
+			Classes:    e.classes,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Models []modelInfo `json:"models"`
+	}{Models: out})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		s.fail(w, r, http.StatusMethodNotAllowed, errors.New("serve: POST required"))
+		return
+	}
+	model := r.URL.Query().Get("model")
+	if model == "" && len(s.cfg.Models) > 0 {
+		model = s.cfg.Models[0]
+	}
+	if model == "" {
+		s.fail(w, r, http.StatusBadRequest, errors.New("serve: missing model parameter"))
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = ModeExact
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	e, err := s.reg.get(ctx, modelKey{Model: model, Mode: mode})
+	if err != nil {
+		s.fail(w, r, statusOf(err), err)
+		return
+	}
+
+	input, err := s.decodeInput(r, e)
+	if err != nil {
+		s.fail(w, r, http.StatusBadRequest, err)
+		return
+	}
+
+	req := &request{ctx: ctx, input: input, enq: time.Now(), resp: make(chan response, 1)}
+	if err := e.batcher.enqueue(req); err != nil {
+		s.pool.Put(input)
+		if errors.Is(err, ErrQueueFull) {
+			w.Header().Set("Retry-After", retryAfter(s.cfg.BatchWait))
+		}
+		s.fail(w, r, statusOf(err), err)
+		return
+	}
+
+	var resp response
+	select {
+	case resp = <-req.resp:
+	case <-ctx.Done():
+		// The dispatcher still owns the request and will drop it at the
+		// next flush; the buffered resp channel means it never blocks on
+		// us being gone.
+		s.fail(w, r, http.StatusGatewayTimeout, ctx.Err())
+		return
+	}
+	if resp.err != nil {
+		s.fail(w, r, statusOf(resp.err), resp.err)
+		return
+	}
+
+	total := time.Since(start)
+	if metrics.Enabled() {
+		lbl := metrics.Labels{"model": model, "mode": mode}
+		metrics.RC("serve.requests", lbl).Add(1)
+		metrics.RH("serve.e2e_us", lbl, latencyBoundsUS).Observe(total.Microseconds())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(predictResponse{
+		Model:        model,
+		Mode:         mode,
+		Class:        resp.class,
+		Logits:       resp.logits,
+		BatchSize:    resp.batch,
+		QueueUS:      resp.queueWait.Microseconds(),
+		InferUS:      resp.inferTime.Microseconds(),
+		TotalUS:      total.Microseconds(),
+		MacReduction: resp.reduction,
+	})
+}
+
+// decodeInput reads the request body as either JSON ({"input": [...]})
+// or raw little-endian float32 (Content-Type: application/octet-stream)
+// into a pooled {1,C,H,W} tensor. The input must carry exactly the
+// model's input element count and be finite — early termination is
+// undefined on non-finite partial sums.
+func (s *Server) decodeInput(r *http.Request, e *entry) (t *tensor.Tensor, err error) {
+	elems := e.inShape.Elems()
+	body := http.MaxBytesReader(nil, r.Body, int64(elems)*4+(1<<16))
+	t = s.pool.Get(e.inShape)
+	defer func() {
+		if err != nil {
+			s.pool.Put(t)
+			t = nil
+		}
+	}()
+	if r.Header.Get("Content-Type") == "application/octet-stream" {
+		raw, rerr := io.ReadAll(body)
+		if rerr != nil {
+			return nil, fmt.Errorf("serve: read body: %w", rerr)
+		}
+		if len(raw) != elems*4 {
+			return nil, fmt.Errorf("serve: raw input is %d bytes, want %d (%d float32, shape %s)",
+				len(raw), elems*4, elems, e.inShape)
+		}
+		d := t.Data()
+		for i := range d {
+			d[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+		}
+	} else {
+		var in struct {
+			Input []float32 `json:"input"`
+		}
+		if jerr := json.NewDecoder(body).Decode(&in); jerr != nil {
+			return nil, fmt.Errorf("serve: decode JSON body: %w", jerr)
+		}
+		if len(in.Input) != elems {
+			return nil, fmt.Errorf("serve: input has %d elements, want %d (shape %s)",
+				len(in.Input), elems, e.inShape)
+		}
+		copy(t.Data(), in.Input)
+	}
+	for i, v := range t.Data() {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("serve: non-finite input at element %d", i)
+		}
+	}
+	return t, nil
+}
+
+// fail writes a JSON error body with the mapped status and counts it.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, code int, err error) {
+	if metrics.Enabled() {
+		lbl := metrics.Labels{"code": strconv.Itoa(code)}
+		metrics.RC("serve.errors", lbl).Add(1)
+		if code == http.StatusTooManyRequests {
+			metrics.RC("serve.rejects", nil).Add(1)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+// statusOf maps admission/registry errors to HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// retryAfter suggests how long a rejected client should back off: one
+// batch flush interval, rounded up to a whole second as Retry-After
+// requires.
+func retryAfter(wait time.Duration) string {
+	secs := int64(wait / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

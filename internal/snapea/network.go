@@ -2,6 +2,7 @@ package snapea
 
 import (
 	"fmt"
+	"sync"
 
 	"snapea/internal/faults"
 	"snapea/internal/models"
@@ -116,8 +117,13 @@ func (f *ParamsFile) Check(m *models.Model) error {
 	return nil
 }
 
-// NetTrace aggregates layer traces for one or more forward passes.
+// NetTrace aggregates layer traces for one or more forward passes. A
+// single trace may be shared across concurrent Forward calls — the
+// inference server batches requests into one trace per model — so the
+// aggregate map is guarded by an internal mutex. Direct reads of Layers
+// are only safe once every concurrent Forward has returned.
 type NetTrace struct {
+	mu     sync.Mutex
 	Layers map[string]*LayerTrace
 }
 
@@ -126,6 +132,8 @@ func NewNetTrace() *NetTrace { return &NetTrace{Layers: make(map[string]*LayerTr
 
 // Add merges a layer trace into the aggregate.
 func (t *NetTrace) Add(tr *LayerTrace) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if prev, ok := t.Layers[tr.Node]; ok {
 		prev.TotalOps += tr.TotalOps
 		prev.DenseOps += tr.DenseOps
@@ -148,6 +156,8 @@ func (t *NetTrace) Add(tr *LayerTrace) {
 
 // Totals returns the executed and dense MAC counts over all layers.
 func (t *NetTrace) Totals() (total, dense int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, tr := range t.Layers {
 		total += tr.TotalOps
 		dense += tr.DenseOps
@@ -167,6 +177,8 @@ func (t *NetTrace) Reduction() float64 {
 // Rates returns the network-wide true- and false-negative rates of the
 // predictive mechanism (Table V).
 func (t *NetTrace) Rates() (tnr, fnr float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var truthNeg, truthPos, tn, fn int64
 	for _, tr := range t.Layers {
 		truthNeg += tr.TruthNeg

@@ -1,0 +1,55 @@
+package snapea
+
+import (
+	"sync"
+	"testing"
+
+	"snapea/internal/tensor"
+)
+
+// TestConcurrentForwardTraces drives concurrent Network.Forward calls —
+// the inference server's execution pattern — under -race, with both
+// independent per-request traces and one trace shared across all
+// requests. The shared aggregate must equal the merged independents:
+// every NetTrace field is an integer sum, so the interleaving cannot
+// matter.
+func TestConcurrentForwardTraces(t *testing.T) {
+	m := buildTestModel(t)
+	net := CompileExact(m)
+	rng := tensor.NewRNG(7)
+	const requests = 16
+	imgs := make([]*tensor.Tensor, requests)
+	for i := range imgs {
+		imgs[i] = tensor.New(m.InputShape)
+		tensor.FillNorm(imgs[i], rng, 0, 1)
+	}
+
+	shared := NewNetTrace()
+	independent := make([]*NetTrace, requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		independent[i] = NewNetTrace()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			net.Forward(imgs[i], RunOpts{}, shared)
+			net.Forward(imgs[i], RunOpts{}, independent[i])
+		}(i)
+	}
+	wg.Wait()
+
+	var total, dense int64
+	for _, tr := range independent {
+		to, de := tr.Totals()
+		total += to
+		dense += de
+	}
+	gotTotal, gotDense := shared.Totals()
+	if gotTotal != total || gotDense != dense {
+		t.Fatalf("shared trace totals (%d, %d) != merged independent totals (%d, %d)",
+			gotTotal, gotDense, total, dense)
+	}
+	if gotDense == 0 {
+		t.Fatal("trace recorded no work")
+	}
+}
