@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-serve invariance metrics-smoke serve-smoke ci clean
+.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-serve invariance metrics-smoke serve-smoke chaos-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -61,8 +61,15 @@ serve-smoke:
 bench-serve:
 	GO=$(GO) OUT=BENCH_SERVE.json sh scripts/serve_smoke.sh
 
+# Chaos smoke: three snapea-serve runs with injected faults proving the
+# resilience layer end to end — circuit breaker opens and self-heals,
+# the batch watchdog isolates a wedged model (bulkhead), and the
+# accuracy guardrail degrades predictive serving to exact and recovers.
+chaos-smoke:
+	GO=$(GO) sh scripts/chaos_smoke.sh
+
 # The tier-1+ gate: everything CI runs before a merge.
-ci: vet build race fuzz-smoke bench-smoke invariance metrics-smoke serve-smoke
+ci: vet build race fuzz-smoke bench-smoke invariance metrics-smoke serve-smoke chaos-smoke
 
 clean:
 	$(GO) clean ./...

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -59,15 +60,20 @@ type Summary struct {
 	MaxMS            float64        `json:"max_ms"`
 	MaxBatch         int            `json:"max_batch"`
 	MeanMacReduction float64        `json:"mean_mac_reduction"`
+	// Retries counts closed-loop re-sends after a 429/503 answer; the
+	// final attempt's status is what StatusCounts records.
+	Retries int `json:"retries,omitempty"`
 }
 
-// outcome is one request's measurement.
+// outcome is one request's measurement (of its final attempt, when the
+// closed loop retried).
 type outcome struct {
-	status    int
-	ms        float64
-	batch     int
-	reduction float64
-	err       error
+	status     int
+	ms         float64
+	batch      int
+	reduction  float64
+	retryAfter time.Duration // parsed Retry-After hint, 0 if absent
+	err        error
 }
 
 func main() {
@@ -78,6 +84,7 @@ func main() {
 	c := flag.Int("c", 8, "closed-loop concurrency (ignored with -rate)")
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
 	body := flag.String("body", "json", "request body encoding: json or raw")
+	retries := flag.Int("retries", 3, "closed-loop retries per request on 429/503, honoring Retry-After with jittered exponential backoff (0 disables; open loop never retries)")
 	seed := flag.Uint64("seed", 42, "input-generation seed")
 	warmup := flag.Int("warmup", 0, "untimed warmup requests before the measured run")
 	waitReady := flag.Duration("wait-ready", 30*time.Second, "poll /readyz this long before starting (0 = skip)")
@@ -138,11 +145,14 @@ func main() {
 	}
 
 	outcomes := make([]outcome, *n)
+	var retried atomic.Int64
 	start := time.Now()
 	if *rate > 0 {
+		// Open loop never retries: a retry is an extra arrival, and the
+		// whole point of -rate is a fixed arrival schedule.
 		runOpenLoop(ctx, client, target, contentType, bodies, outcomes, *rate)
 	} else {
-		runClosedLoop(ctx, client, target, contentType, bodies, outcomes, *c)
+		runClosedLoop(ctx, client, target, contentType, bodies, outcomes, *c, *retries, *seed, &retried)
 	}
 	elapsed := time.Since(start)
 
@@ -152,6 +162,7 @@ func main() {
 	}
 
 	sum := summarize(outcomes, allowed)
+	sum.Retries = int(retried.Load())
 	sum.URL = *url
 	sum.Model = *model
 	sum.Mode = *mode
@@ -250,6 +261,11 @@ func fire(ctx context.Context, client *http.Client, target, contentType string, 
 	}
 	defer resp.Body.Close()
 	o := outcome{status: resp.StatusCode}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && secs > 0 {
+			o.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	if resp.StatusCode == http.StatusOK {
 		var pr struct {
 			BatchSize    int     `json:"batch_size"`
@@ -264,24 +280,57 @@ func fire(ctx context.Context, client *http.Client, target, contentType string, 
 	return o
 }
 
-// runClosedLoop keeps c requests in flight until n are done.
-func runClosedLoop(ctx context.Context, client *http.Client, target, contentType string, bodies [][]byte, outcomes []outcome, c int) {
+// runClosedLoop keeps c requests in flight until n are done. A 429
+// (queue full) or 503 (draining, circuit open) answer is retried up to
+// retries times with jittered exponential backoff, honoring the
+// server's Retry-After hint when present — the well-behaved-client
+// protocol the server's admission control assumes.
+func runClosedLoop(ctx context.Context, client *http.Client, target, contentType string, bodies [][]byte, outcomes []outcome, c, retries int, seed uint64, retried *atomic.Int64) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < c; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed) + int64(w)))
 			for ctx.Err() == nil {
 				i := int(next.Add(1) - 1)
 				if i >= len(outcomes) {
 					return
 				}
-				outcomes[i] = fire(ctx, client, target, contentType, bodies[i%len(bodies)])
+				outcomes[i] = fireRetry(ctx, client, target, contentType, bodies[i%len(bodies)], retries, rng, retried)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+}
+
+// fireRetry issues one request, re-sending on 429/503 with backoff. The
+// base wait is the server's Retry-After when it sent one, else an
+// exponential schedule from 50ms; either way the actual sleep is
+// full-jittered into [base/2, base] so a fleet of backed-off clients
+// does not return in lockstep.
+func fireRetry(ctx context.Context, client *http.Client, target, contentType string, body []byte, retries int, rng *rand.Rand, retried *atomic.Int64) outcome {
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		o := fire(ctx, client, target, contentType, body)
+		if o.err != nil || attempt >= retries ||
+			(o.status != http.StatusTooManyRequests && o.status != http.StatusServiceUnavailable) {
+			return o
+		}
+		wait := backoff
+		if o.retryAfter > 0 {
+			wait = o.retryAfter
+		}
+		wait = wait/2 + time.Duration(rng.Int63n(int64(wait/2)+1))
+		retried.Add(1)
+		select {
+		case <-ctx.Done():
+			return o
+		case <-time.After(wait):
+		}
+		backoff *= 2
+	}
 }
 
 // runOpenLoop fires requests at a fixed arrival rate, regardless of how
@@ -367,6 +416,9 @@ func render(sum Summary) {
 	sort.Strings(codes)
 	for _, code := range codes {
 		t.Add("status "+code, strconv.Itoa(sum.StatusCounts[code]))
+	}
+	if sum.Retries > 0 {
+		t.Add("retries", strconv.Itoa(sum.Retries))
 	}
 	if sum.TransportErrors > 0 {
 		t.Add("transport errors", strconv.Itoa(sum.TransportErrors))

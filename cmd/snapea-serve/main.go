@@ -50,6 +50,14 @@ func main() {
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "flush a partial batch after this long")
 	queue := flag.Int("queue", 64, "per-model queue depth; overflow is rejected with 429")
 	reqTimeout := flag.Duration("request-timeout", 5*time.Second, "per-request deadline (covers queueing and inference)")
+	batchDeadline := flag.Duration("batch-deadline", 30*time.Second, "watchdog deadline for one batch execution; a hung batch is abandoned (<0 disables)")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive batch failures that open a model's circuit breaker (<0 disables)")
+	breakerOpen := flag.Duration("breaker-open", 2*time.Second, "how long an open breaker rejects before half-open probes")
+	breakerProbes := flag.Int("breaker-probes", 2, "consecutive half-open successes that close the breaker")
+	mispredictBudget := flag.Float64("mispredict-budget", 0, "misprediction error budget; exceeding it degrades predictive serving to exact (0 disables)")
+	guardWindow := flag.Int("guard-window", 32, "guardrail sliding window in audited batches")
+	guardCooldown := flag.Int("guard-cooldown", 16, "degraded batches served before the guardrail probes predictive mode again")
+	auditEvery := flag.Int64("audit-every", 8, "audit every Nth predictive batch with exact misprediction accounting (<0 disables)")
 	drain := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget")
 	timeout := flag.Duration("timeout", 0, "stop serving after this duration (0 = until signalled)")
 	faultFlags := cli.FaultFlags(nil)
@@ -78,14 +86,22 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Models:         splitList(*modelsFlag),
-		Classes:        *classes,
-		Seed:           *seed,
-		BatchMax:       *batch,
-		BatchWait:      *batchWait,
-		QueueDepth:     *queue,
-		RequestTimeout: *reqTimeout,
-		Faults:         faultCfg,
+		Models:           splitList(*modelsFlag),
+		Classes:          *classes,
+		Seed:             *seed,
+		BatchMax:         *batch,
+		BatchWait:        *batchWait,
+		QueueDepth:       *queue,
+		RequestTimeout:   *reqTimeout,
+		BatchDeadline:    *batchDeadline,
+		BreakerFailures:  *breakerFailures,
+		BreakerOpenFor:   *breakerOpen,
+		BreakerProbes:    *breakerProbes,
+		MispredictBudget: *mispredictBudget,
+		GuardWindow:      *guardWindow,
+		GuardCooldown:    *guardCooldown,
+		AuditEvery:       *auditEvery,
+		Faults:           faultCfg,
 	}
 	if *scale == "full" {
 		cfg.Scale = models.Full

@@ -89,18 +89,30 @@ func FaultFlags(fs *flag.FlagSet) *FaultFlagGroup {
 	fs.Float64Var(&g.stuckZero, "fault-stuck", 0, "per-kernel stuck-at-zero probability (dead lanes)")
 	fs.Float64Var(&g.thJitter, "fault-th-jitter", 0, "Gaussian jitter scale on speculation thresholds")
 	fs.Float64Var(&g.nJitter, "fault-n-jitter", 0, "per-kernel probability of halving/doubling the group count N")
+	fs.DurationVar(&g.serveDelay, "fault-serve-delay", 0, "added latency injected into faulted inference batches (chaos serving)")
+	fs.Float64Var(&g.serveDelayRate, "fault-serve-delay-rate", 0, "per-batch probability of the injected delay (0 with a delay set = every batch)")
+	fs.Float64Var(&g.servePanicRate, "fault-serve-panic", 0, "per-batch probability that batch execution panics")
+	fs.Float64Var(&g.serveErrRate, "fault-serve-err", 0, "per-batch probability that batch execution fails")
+	fs.Int64Var(&g.serveLimit, "fault-serve-limit", 0, "total serve-path faults to inject before running clean (0 = unlimited)")
+	fs.StringVar(&g.serveTarget, "fault-serve-target", "", "restrict serve-path faults to model/mode sites containing this substring")
 	return g
 }
 
 // FaultFlagGroup holds the parsed -fault-* values.
 type FaultFlagGroup struct {
-	seed          uint64
-	weightBitFlip float64
-	actBitFlip    float64
-	nanRate       float64
-	stuckZero     float64
-	thJitter      float64
-	nJitter       float64
+	seed           uint64
+	weightBitFlip  float64
+	actBitFlip     float64
+	nanRate        float64
+	stuckZero      float64
+	thJitter       float64
+	nJitter        float64
+	serveDelay     time.Duration
+	serveDelayRate float64
+	servePanicRate float64
+	serveErrRate   float64
+	serveLimit     int64
+	serveTarget    string
 }
 
 // Config validates the flags and returns the fault configuration.
@@ -108,13 +120,19 @@ type FaultFlagGroup struct {
 // experiments inherit the tool's -seed determinism.
 func (g *FaultFlagGroup) Config(defaultSeed uint64) (faults.Config, error) {
 	cfg := faults.Config{
-		Seed:          g.seed,
-		WeightBitFlip: g.weightBitFlip,
-		ActBitFlip:    g.actBitFlip,
-		NaNRate:       g.nanRate,
-		StuckZero:     g.stuckZero,
-		ThJitter:      g.thJitter,
-		NJitter:       g.nJitter,
+		Seed:           g.seed,
+		WeightBitFlip:  g.weightBitFlip,
+		ActBitFlip:     g.actBitFlip,
+		NaNRate:        g.nanRate,
+		StuckZero:      g.stuckZero,
+		ThJitter:       g.thJitter,
+		NJitter:        g.nJitter,
+		ServeDelay:     g.serveDelay,
+		ServeDelayRate: g.serveDelayRate,
+		ServePanicRate: g.servePanicRate,
+		ServeErrRate:   g.serveErrRate,
+		ServeLimit:     g.serveLimit,
+		ServeTarget:    g.serveTarget,
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = defaultSeed

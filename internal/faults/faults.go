@@ -14,9 +14,12 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"snapea/internal/tensor"
 )
@@ -49,12 +52,49 @@ type Config struct {
 	// NJitter is the per-kernel probability that a speculative kernel's
 	// group count N is halved or doubled.
 	NJitter float64
+
+	// Serve-path faults, drawn once per dispatched inference batch (the
+	// chaos harness for the serving subsystem; see internal/serve and
+	// internal/resilience). A batch fault is at most one of delay,
+	// panic, or error, checked in that order.
+
+	// ServeDelay is added to a faulted batch's execution before any
+	// compute — modeling a stalled DMA or a wedged kernel. A delay
+	// longer than the server's batch deadline wedges the batch and
+	// exercises the watchdog.
+	ServeDelay time.Duration
+	// ServeDelayRate is the per-batch probability of the delay. A zero
+	// rate with a positive ServeDelay means every batch (rate 1).
+	ServeDelayRate float64
+	// ServePanicRate is the per-batch probability that batch execution
+	// panics.
+	ServePanicRate float64
+	// ServeErrRate is the per-batch probability that batch execution
+	// fails with ErrInjected.
+	ServeErrRate float64
+	// ServeLimit caps the total number of serve-path faults injected
+	// over the injector's lifetime; afterwards batches run clean. This
+	// models a transient fault storm, which is what lets a circuit
+	// breaker's half-open probes eventually succeed. Zero means
+	// unlimited.
+	ServeLimit int64
+	// ServeTarget restricts serve-path faults to batch sites containing
+	// this substring (sites are named "model/mode"), so a chaos test
+	// can wedge one model while another stays healthy. Empty targets
+	// every site.
+	ServeTarget string
 }
 
 // Enabled reports whether any fault type is active.
 func (c Config) Enabled() bool {
 	return c.WeightBitFlip > 0 || c.ActBitFlip > 0 || c.NaNRate > 0 ||
-		c.StuckZero > 0 || c.ThJitter > 0 || c.NJitter > 0
+		c.StuckZero > 0 || c.ThJitter > 0 || c.NJitter > 0 || c.ServeEnabled()
+}
+
+// ServeEnabled reports whether any serve-path (batch-level) fault is
+// active.
+func (c Config) ServeEnabled() bool {
+	return c.ServeDelay > 0 || c.ServePanicRate > 0 || c.ServeErrRate > 0
 }
 
 // Scale multiplies every rate by f (jitters included), for sweeping a
@@ -66,6 +106,9 @@ func (c Config) Scale(f float64) Config {
 	c.StuckZero *= f
 	c.ThJitter *= f
 	c.NJitter *= f
+	c.ServeDelayRate *= f
+	c.ServePanicRate *= f
+	c.ServeErrRate *= f
 	return c
 }
 
@@ -80,6 +123,9 @@ func (c Config) Validate() error {
 		{"nan-rate", c.NaNRate},
 		{"stuck-zero", c.StuckZero},
 		{"n-jitter", c.NJitter},
+		{"serve-delay-rate", c.ServeDelayRate},
+		{"serve-panic", c.ServePanicRate},
+		{"serve-err", c.ServeErrRate},
 	} {
 		if p.v < 0 || p.v > 1 || math.IsNaN(p.v) {
 			return fmt.Errorf("faults: %s rate %v outside [0, 1]", p.name, p.v)
@@ -87,6 +133,12 @@ func (c Config) Validate() error {
 	}
 	if c.ThJitter < 0 || math.IsNaN(c.ThJitter) || math.IsInf(c.ThJitter, 0) {
 		return fmt.Errorf("faults: th-jitter %v must be a finite non-negative scale", c.ThJitter)
+	}
+	if c.ServeDelay < 0 {
+		return fmt.Errorf("faults: serve-delay %v must be non-negative", c.ServeDelay)
+	}
+	if c.ServeLimit < 0 {
+		return fmt.Errorf("faults: serve-limit %d must be non-negative", c.ServeLimit)
 	}
 	return nil
 }
@@ -101,16 +153,21 @@ type Stats struct {
 	StuckKernels int64
 	ThPerturbed  int64
 	NPerturbed   int64
+	ServeDelays  int64
+	ServePanics  int64
+	ServeErrs    int64
 }
 
 // Total sums all fault counts.
 func (s Stats) Total() int64 {
-	return s.WeightBits + s.ActBits + s.NaNs + s.StuckKernels + s.ThPerturbed + s.NPerturbed
+	return s.WeightBits + s.ActBits + s.NaNs + s.StuckKernels + s.ThPerturbed + s.NPerturbed +
+		s.ServeDelays + s.ServePanics + s.ServeErrs
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("wbits=%d abits=%d nans=%d stuck=%d th=%d n=%d",
-		s.WeightBits, s.ActBits, s.NaNs, s.StuckKernels, s.ThPerturbed, s.NPerturbed)
+	return fmt.Sprintf("wbits=%d abits=%d nans=%d stuck=%d th=%d n=%d sdelay=%d spanic=%d serr=%d",
+		s.WeightBits, s.ActBits, s.NaNs, s.StuckKernels, s.ThPerturbed, s.NPerturbed,
+		s.ServeDelays, s.ServePanics, s.ServeErrs)
 }
 
 // Injector materializes a Config's faults at named sites. A nil *Injector
@@ -125,6 +182,12 @@ type Injector struct {
 	stuckKernels atomic.Int64
 	thPerturbed  atomic.Int64
 	nPerturbed   atomic.Int64
+	serveDelays  atomic.Int64
+	servePanics  atomic.Int64
+	serveErrs    atomic.Int64
+	// serveUsed counts materialized serve-path faults against
+	// Config.ServeLimit.
+	serveUsed atomic.Int64
 }
 
 // New returns an injector for cfg, or nil when cfg disables every fault
@@ -160,6 +223,9 @@ func (in *Injector) Stats() Stats {
 		StuckKernels: in.stuckKernels.Load(),
 		ThPerturbed:  in.thPerturbed.Load(),
 		NPerturbed:   in.nPerturbed.Load(),
+		ServeDelays:  in.serveDelays.Load(),
+		ServePanics:  in.servePanics.Load(),
+		ServeErrs:    in.serveErrs.Load(),
 	}
 }
 
@@ -308,4 +374,65 @@ func (in *Injector) JitterN(site string, k, n int) int {
 // flipBit flips one bit of a float32's IEEE-754 representation.
 func flipBit(v float32, bit uint) float32 {
 	return math.Float32frombits(math.Float32bits(v) ^ (1 << (bit & 31)))
+}
+
+// ErrInjected is the failure a serve-path error fault produces. The
+// serving layer treats it like any other batch failure; tests and the
+// chaos harness can errors.Is it apart from organic failures.
+var ErrInjected = errors.New("faults: injected batch error")
+
+// BatchFault is the serve-path fault decision for one dispatched batch:
+// at most one of Delay, Panic, or Err is set.
+type BatchFault struct {
+	Delay time.Duration
+	Panic bool
+	Err   error
+}
+
+// Any reports whether the batch is faulted at all.
+func (f BatchFault) Any() bool { return f.Delay > 0 || f.Panic || f.Err != nil }
+
+// BatchFault draws the serve-path fault for one batch. site names the
+// execution unit ("model/mode") and seq numbers the batch within it, so
+// the decision stream is deterministic per (seed, site) and independent
+// of scheduling, like every other injector site. Faults are checked in
+// delay → panic → error order; the first hit wins and counts against
+// ServeLimit.
+func (in *Injector) BatchFault(site string, seq int64) BatchFault {
+	if in == nil || !in.cfg.ServeEnabled() {
+		return BatchFault{}
+	}
+	if in.cfg.ServeTarget != "" && !strings.Contains(site, in.cfg.ServeTarget) {
+		return BatchFault{}
+	}
+	if lim := in.cfg.ServeLimit; lim > 0 && in.serveUsed.Load() >= lim {
+		return BatchFault{}
+	}
+	r := in.rng(fmt.Sprintf("serve/%s#%d", site, seq))
+	var f BatchFault
+	switch {
+	case in.cfg.ServeDelay > 0 && (in.cfg.ServeDelayRate <= 0 || r.Float64() < in.cfg.ServeDelayRate):
+		// A zero ServeDelayRate with a positive delay means "every
+		// batch" — the wedged-model chaos configuration.
+		f.Delay = in.cfg.ServeDelay
+	case in.cfg.ServePanicRate > 0 && r.Float64() < in.cfg.ServePanicRate:
+		f.Panic = true
+	case in.cfg.ServeErrRate > 0 && r.Float64() < in.cfg.ServeErrRate:
+		f.Err = ErrInjected
+	default:
+		return BatchFault{}
+	}
+	if lim := in.cfg.ServeLimit; lim > 0 && in.serveUsed.Add(1) > lim {
+		// Lost the race for the last budgeted fault: run clean.
+		return BatchFault{}
+	}
+	switch {
+	case f.Delay > 0:
+		in.serveDelays.Add(1)
+	case f.Panic:
+		in.servePanics.Add(1)
+	default:
+		in.serveErrs.Add(1)
+	}
+	return f
 }

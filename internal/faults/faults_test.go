@@ -1,8 +1,10 @@
 package faults
 
 import (
+	"errors"
 	"math"
 	"testing"
+	"time"
 )
 
 func TestDisabledInjectorIsNil(t *testing.T) {
@@ -149,5 +151,109 @@ func TestJitterNBounds(t *testing.T) {
 	}
 	if in.JitterN("layer", 0, 0) != 0 {
 		t.Fatal("exact kernel (n=0) must not be jittered")
+	}
+}
+
+func TestBatchFaultDeterminismAndKinds(t *testing.T) {
+	cfg := Config{Seed: 11, ServeDelay: 3 * time.Millisecond, ServeDelayRate: 0.2, ServePanicRate: 0.2, ServeErrRate: 0.5}
+	draw := func() []BatchFault {
+		in := New(cfg)
+		out := make([]BatchFault, 200)
+		for i := range out {
+			out[i] = in.BatchFault("tinynet/exact", int64(i))
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	var delays, panics, errs int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("batch %d: %+v vs %+v — BatchFault must be deterministic per (seed, site, seq)", i, a[i], b[i])
+		}
+		switch {
+		case a[i].Delay > 0:
+			delays++
+		case a[i].Panic:
+			panics++
+		case a[i].Err != nil:
+			errs++
+			if !errors.Is(a[i].Err, ErrInjected) {
+				t.Fatalf("injected error %v is not ErrInjected", a[i].Err)
+			}
+		}
+	}
+	if delays == 0 || panics == 0 || errs == 0 {
+		t.Fatalf("200 draws produced delays=%d panics=%d errs=%d; want all kinds", delays, panics, errs)
+	}
+	in := New(cfg)
+	for i := 0; i < 50; i++ {
+		in.BatchFault("tinynet/exact", int64(i))
+	}
+	st := in.Stats()
+	if st.ServeDelays == 0 || st.ServeErrs == 0 {
+		t.Fatalf("stats did not count serve faults: %s", st)
+	}
+}
+
+func TestBatchFaultLimitAndTarget(t *testing.T) {
+	in := New(Config{Seed: 3, ServeErrRate: 1, ServeLimit: 4, ServeTarget: "tinynet"})
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if in.BatchFault("lenet/exact", int64(i)).Any() {
+			t.Fatalf("batch %d: fault hit a site outside ServeTarget", i)
+		}
+		if in.BatchFault("tinynet/exact", int64(i)).Any() {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Fatalf("ServeLimit=4 materialized %d faults", hits)
+	}
+	if st := in.Stats(); st.ServeErrs != 4 {
+		t.Fatalf("stats counted %d injected errors, want 4", st.ServeErrs)
+	}
+
+	// Delay with unset rate applies to every targeted batch.
+	all := New(Config{Seed: 3, ServeDelay: time.Millisecond})
+	for i := 0; i < 10; i++ {
+		if f := all.BatchFault("any/site", int64(i)); f.Delay != time.Millisecond {
+			t.Fatalf("batch %d: delay %v, want 1ms for unset rate", i, f.Delay)
+		}
+	}
+
+	// Nil injector and serve-disabled configs inject nothing.
+	var nilIn *Injector
+	if nilIn.BatchFault("x", 0).Any() {
+		t.Fatal("nil injector produced a batch fault")
+	}
+	weightOnly := New(Config{Seed: 1, WeightBitFlip: 0.5})
+	if weightOnly.BatchFault("x", 0).Any() {
+		t.Fatal("weight-only injector produced a batch fault")
+	}
+}
+
+func TestServeConfigValidate(t *testing.T) {
+	bad := []Config{
+		{ServeErrRate: 1.5},
+		{ServePanicRate: -0.1},
+		{ServeDelayRate: 2},
+		{ServeDelay: -time.Second},
+		{ServeErrRate: 0.5, ServeLimit: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %d (%+v) validated", i, cfg)
+		}
+	}
+	ok := Config{ServeDelay: time.Second, ServeDelayRate: 0.5, ServeErrRate: 0.1, ServePanicRate: 0.1, ServeLimit: 10}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid serve config rejected: %v", err)
+	}
+	if !ok.Enabled() || !ok.ServeEnabled() {
+		t.Fatal("serve faults must enable the injector")
+	}
+	scaled := ok.Scale(0.5)
+	if scaled.ServeErrRate != 0.05 || scaled.ServeDelayRate != 0.25 {
+		t.Fatalf("Scale did not scale serve rates: %+v", scaled)
 	}
 }

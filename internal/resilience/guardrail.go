@@ -1,0 +1,190 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// GuardConfig parameterizes a Guardrail.
+type GuardConfig struct {
+	// Budget is the misprediction error budget: the maximum tolerated
+	// fraction of windows the speculative mechanism wrongly zeroed
+	// (mispredictions / windows over the sliding window of audited
+	// batches). A budget <= 0 disables the guardrail — callers should
+	// hold a nil *Guardrail instead of constructing one.
+	Budget float64
+	// Window is how many audited batches the sliding window holds
+	// (default 32).
+	Window int
+	// MinWindows is the minimum number of convolution windows the
+	// sliding window must cover before the rate is judged, so one tiny
+	// unlucky batch cannot trip the guardrail (default 512).
+	MinWindows int64
+	// Cooldown is how many degraded (exact-mode) batches the model
+	// serves before the guardrail probes predictive mode again
+	// (default 16). Together with the cleared window this is the
+	// hysteresis: degradation is immediate, recovery requires the full
+	// cooldown plus MinWindows of fresh audited evidence before the
+	// model can degrade again.
+	Cooldown int
+	// OnChange, when non-nil, is called outside the lock after every
+	// degrade (true) and recovery (false).
+	OnChange func(degraded bool)
+}
+
+func (c GuardConfig) normalize() GuardConfig {
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.MinWindows <= 0 {
+		c.MinWindows = 512
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 16
+	}
+	return c
+}
+
+// guardSample is one audited batch's window/misprediction counts.
+type guardSample struct {
+	windows int64
+	mispred int64
+}
+
+// Guardrail is the accuracy watchdog for one predictively-served model:
+// a sliding window over audited batch executions (batches run with
+// RunOpts.CollectPrediction, so the engine's SpecFN misprediction
+// counter is exact) compared against an error budget. When the observed
+// misprediction rate exceeds the budget the model degrades to exact
+// execution — SnaPEA's deliberate accuracy-for-MACs trade is suspended,
+// costing latency instead of silent accuracy loss — and recovers with
+// hysteresis after the cooldown clears the window.
+type Guardrail struct {
+	cfg GuardConfig
+
+	mu       sync.Mutex
+	samples  []guardSample // ring buffer, cfg.Window entries
+	next     int
+	filled   int
+	sumW     int64
+	sumM     int64
+	degraded bool
+	heldFor  int // degraded batches served since degradation
+	since    time.Time
+}
+
+// NewGuardrail returns a healthy guardrail. It returns nil when the
+// budget disables guarding, so the nil-receiver convention carries the
+// enablement test.
+func NewGuardrail(cfg GuardConfig) *Guardrail {
+	if cfg.Budget <= 0 {
+		return nil
+	}
+	cfg = cfg.normalize()
+	return &Guardrail{cfg: cfg, samples: make([]guardSample, cfg.Window)}
+}
+
+// Degraded reports whether the model should execute in exact mode.
+func (g *Guardrail) Degraded() bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.degraded
+}
+
+// Budget returns the configured error budget (0 on nil).
+func (g *Guardrail) Budget() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.cfg.Budget
+}
+
+// Rate returns the misprediction rate currently observed over the
+// sliding window, and the number of windows it covers.
+func (g *Guardrail) Rate() (rate float64, windows int64) {
+	if g == nil {
+		return 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.sumW == 0 {
+		return 0, 0
+	}
+	return float64(g.sumM) / float64(g.sumW), g.sumW
+}
+
+// RecordAudit feeds one audited predictive batch (its total convolution
+// windows and the mispredicted — wrongly speculative-zeroed — subset)
+// into the sliding window and degrades the model if the budget is
+// exceeded. Calls while degraded are ignored; the degraded model runs
+// exact, so there is nothing to audit.
+func (g *Guardrail) RecordAudit(windows, mispredictions int64) {
+	if g == nil || windows <= 0 {
+		return
+	}
+	g.mu.Lock()
+	if g.degraded {
+		g.mu.Unlock()
+		return
+	}
+	old := g.samples[g.next]
+	g.sumW -= old.windows
+	g.sumM -= old.mispred
+	g.samples[g.next] = guardSample{windows: windows, mispred: mispredictions}
+	g.sumW += windows
+	g.sumM += mispredictions
+	g.next = (g.next + 1) % len(g.samples)
+	if g.filled < len(g.samples) {
+		g.filled++
+	}
+	var cb func(bool)
+	if g.sumW >= g.cfg.MinWindows && float64(g.sumM) > g.cfg.Budget*float64(g.sumW) {
+		g.degrade()
+		cb = g.cfg.OnChange
+	}
+	g.mu.Unlock()
+	if cb != nil {
+		cb(true)
+	}
+}
+
+// RecordDegraded counts one batch served in degraded (exact) mode.
+// After Cooldown such batches the guardrail recovers: the model returns
+// to predictive execution with an empty window, so it takes MinWindows
+// of fresh audited evidence to degrade again.
+func (g *Guardrail) RecordDegraded() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if !g.degraded {
+		g.mu.Unlock()
+		return
+	}
+	g.heldFor++
+	var cb func(bool)
+	if g.heldFor >= g.cfg.Cooldown {
+		g.degraded = false
+		g.heldFor = 0
+		cb = g.cfg.OnChange
+	}
+	g.mu.Unlock()
+	if cb != nil {
+		cb(false)
+	}
+}
+
+// degrade flips to degraded and clears the window. Callers hold g.mu.
+func (g *Guardrail) degrade() {
+	g.degraded = true
+	g.heldFor = 0
+	g.since = time.Now()
+	for i := range g.samples {
+		g.samples[i] = guardSample{}
+	}
+	g.sumW, g.sumM = 0, 0
+	g.filled, g.next = 0, 0
+}

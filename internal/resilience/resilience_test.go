@@ -1,0 +1,261 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock so breaker tests never sleep.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+var errBatch = errors.New("test: batch failed")
+
+func TestBreakerFullCycle(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	var transitions []State
+	b := NewBreaker(BreakerConfig{
+		Failures: 3,
+		OpenFor:  time.Second,
+		Probes:   2,
+		Now:      clock.Now,
+		OnTransition: func(from, to State) {
+			transitions = append(transitions, to)
+		},
+	})
+
+	// Closed: failures below the threshold keep admitting.
+	for i := 0; i < 2; i++ {
+		b.Record(errBatch)
+		if _, err := b.Allow(); err != nil {
+			t.Fatalf("failure %d: Allow() = %v, want nil", i+1, err)
+		}
+	}
+	// A success resets the consecutive count.
+	b.Record(nil)
+	b.Record(errBatch)
+	b.Record(errBatch)
+	if got := b.State(); got != Closed {
+		t.Fatalf("after reset + 2 failures: state %v, want closed", got)
+	}
+	// The third consecutive failure opens.
+	b.Record(errBatch)
+	if got := b.State(); got != Open {
+		t.Fatalf("after 3 consecutive failures: state %v, want open", got)
+	}
+	ra, err := b.Allow()
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("open Allow() err = %v, want ErrOpen", err)
+	}
+	if ra <= 0 || ra > time.Second {
+		t.Fatalf("open Allow() retryAfter = %v, want (0, 1s]", ra)
+	}
+
+	// Stale outcome from a batch admitted before opening is ignored.
+	b.Record(nil)
+	if got := b.State(); got != Open {
+		t.Fatalf("stale success flipped state to %v", got)
+	}
+
+	// After OpenFor the first Allow flips to half-open.
+	clock.Advance(1100 * time.Millisecond)
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("post-open Allow() = %v, want nil (half-open probe)", err)
+	}
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state %v, want half-open", got)
+	}
+
+	// A half-open failure reopens immediately.
+	b.Record(errBatch)
+	if got := b.State(); got != Open {
+		t.Fatalf("half-open failure: state %v, want open", got)
+	}
+	clock.Advance(1100 * time.Millisecond)
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("second probe window Allow() = %v", err)
+	}
+
+	// Probes consecutive successes close.
+	b.Record(nil)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("after 1 probe success: state %v, want half-open", got)
+	}
+	b.Record(nil)
+	if got := b.State(); got != Closed {
+		t.Fatalf("after 2 probe successes: state %v, want closed", got)
+	}
+
+	want := []State{Open, HalfOpen, Open, HalfOpen, Closed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("nil Allow() = %v", err)
+	}
+	b.Record(errBatch) // must not panic
+	if got := b.State(); got != Closed {
+		t.Fatalf("nil State() = %v, want closed", got)
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Failures: 2, OpenFor: time.Millisecond, Probes: 1, Now: clock.Now})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if _, err := b.Allow(); err == nil {
+					if j%3 == 0 {
+						b.Record(errBatch)
+					} else {
+						b.Record(nil)
+					}
+				}
+				if j%50 == 0 {
+					clock.Advance(time.Millisecond)
+				}
+				_ = b.State()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s := b.State(); s != Closed && s != Open && s != HalfOpen {
+		t.Fatalf("state corrupted: %v", s)
+	}
+}
+
+func TestGuardrailDegradeAndRecover(t *testing.T) {
+	var changes []bool
+	g := NewGuardrail(GuardConfig{
+		Budget:     0.10,
+		Window:     4,
+		MinWindows: 100,
+		Cooldown:   3,
+		OnChange:   func(d bool) { changes = append(changes, d) },
+	})
+	if g == nil {
+		t.Fatal("NewGuardrail returned nil for a positive budget")
+	}
+
+	// Below MinWindows nothing trips.
+	g.RecordAudit(50, 2)
+	if g.Degraded() {
+		t.Fatal("degraded below MinWindows")
+	}
+	// Healthy traffic within budget (7/150 ≈ 4.7%).
+	g.RecordAudit(100, 5)
+	if g.Degraded() {
+		t.Fatal("degraded within budget")
+	}
+	rate, windows := g.Rate()
+	if windows != 150 || rate >= 0.10 || rate <= 0 {
+		t.Fatalf("Rate() = %v over %d windows, want ~0.047 over 150", rate, windows)
+	}
+	// One bad batch pushes the window over budget (47/250 ≈ 19%).
+	g.RecordAudit(100, 40)
+	if !g.Degraded() {
+		t.Fatal("not degraded after budget exceeded with MinWindows coverage")
+	}
+
+	// Audits while degraded are ignored.
+	g.RecordAudit(1000, 0)
+	if !g.Degraded() {
+		t.Fatal("audit while degraded cleared the state")
+	}
+
+	// Recovery after Cooldown degraded batches.
+	g.RecordDegraded()
+	g.RecordDegraded()
+	if !g.Degraded() {
+		t.Fatal("recovered before cooldown elapsed")
+	}
+	g.RecordDegraded()
+	if g.Degraded() {
+		t.Fatal("still degraded after cooldown")
+	}
+
+	// Hysteresis: the window was cleared, so one bad-but-small audit
+	// cannot re-trip before MinWindows of fresh evidence.
+	g.RecordAudit(50, 50)
+	if g.Degraded() {
+		t.Fatal("re-degraded without MinWindows of fresh evidence")
+	}
+	g.RecordAudit(60, 60)
+	if !g.Degraded() {
+		t.Fatal("not re-degraded once fresh evidence exceeded the budget")
+	}
+
+	want := []bool{true, false, true}
+	if len(changes) != len(want) {
+		t.Fatalf("OnChange calls %v, want %v", changes, want)
+	}
+	for i := range want {
+		if changes[i] != want[i] {
+			t.Fatalf("OnChange calls %v, want %v", changes, want)
+		}
+	}
+}
+
+func TestGuardrailWindowSlides(t *testing.T) {
+	g := NewGuardrail(GuardConfig{Budget: 0.5, Window: 2, MinWindows: 10, Cooldown: 1})
+	// Fill the window with bad samples, then slide them out with good
+	// ones: the evicted history must stop counting.
+	g.RecordDegraded() // no-op while healthy
+	g.RecordAudit(10, 2)
+	g.RecordAudit(10, 3)
+	if g.Degraded() {
+		t.Fatal("degraded at exactly budget boundary (25/50%)")
+	}
+	g.RecordAudit(10, 0)
+	g.RecordAudit(10, 0)
+	if rate, windows := g.Rate(); rate != 0 || windows != 20 {
+		t.Fatalf("after sliding out bad samples: rate %v over %d windows, want 0 over 20", rate, windows)
+	}
+}
+
+func TestGuardrailDisabledAndNil(t *testing.T) {
+	if g := NewGuardrail(GuardConfig{Budget: 0}); g != nil {
+		t.Fatal("zero budget must return a nil guardrail")
+	}
+	var g *Guardrail
+	g.RecordAudit(10, 10)
+	g.RecordDegraded()
+	if g.Degraded() {
+		t.Fatal("nil guardrail degraded")
+	}
+	if b := g.Budget(); b != 0 {
+		t.Fatalf("nil Budget() = %v", b)
+	}
+	if rate, windows := g.Rate(); rate != 0 || windows != 0 {
+		t.Fatalf("nil Rate() = %v, %v", rate, windows)
+	}
+}

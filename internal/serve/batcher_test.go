@@ -33,7 +33,7 @@ func testInput(pool *tensorPool, shape tensor.Shape, seed uint64) *tensor.Tensor
 func TestPartialBatchFlushOnWait(t *testing.T) {
 	net, shape := testNet(t)
 	pool := newTensorPool()
-	b := newBatcher(net, pool, nil, 64, 64, 20*time.Millisecond)
+	b := newBatcher(net, pool, batcherConfig{batchMax: 64, queueDepth: 64, batchWait: 20 * time.Millisecond})
 	defer b.close()
 
 	const n = 3
@@ -76,7 +76,7 @@ func TestQueueOverflow(t *testing.T) {
 	// BatchMax 1: the dispatcher spends ≥ one Forward per queued item,
 	// while an enqueue costs nanoseconds, so a tight admission loop
 	// overfills the 4-slot queue within a handful of iterations.
-	b := newBatcher(net, pool, nil, 1, 4, time.Minute)
+	b := newBatcher(net, pool, batcherConfig{batchMax: 1, queueDepth: 4, batchWait: time.Minute})
 	defer b.close()
 
 	mk := func() *request {
@@ -123,7 +123,7 @@ func TestQueueOverflow(t *testing.T) {
 func TestQueuedDeadlineExpires(t *testing.T) {
 	net, shape := testNet(t)
 	pool := newTensorPool()
-	b := newBatcher(net, pool, nil, 64, 64, 50*time.Millisecond)
+	b := newBatcher(net, pool, batcherConfig{batchMax: 64, queueDepth: 64, batchWait: 50 * time.Millisecond})
 	defer b.close()
 
 	deadCtx, cancel := context.WithCancel(context.Background())
@@ -156,7 +156,7 @@ func TestQueuedDeadlineExpires(t *testing.T) {
 func TestCloseDrainsAccepted(t *testing.T) {
 	net, shape := testNet(t)
 	pool := newTensorPool()
-	b := newBatcher(net, pool, nil, 4, 32, 5*time.Millisecond)
+	b := newBatcher(net, pool, batcherConfig{batchMax: 4, queueDepth: 32, batchWait: 5 * time.Millisecond})
 
 	const n = 17
 	var accepted []*request
@@ -201,7 +201,7 @@ func TestCloseDrainsAccepted(t *testing.T) {
 func TestBatchMaxFlush(t *testing.T) {
 	net, shape := testNet(t)
 	pool := newTensorPool()
-	b := newBatcher(net, pool, nil, 2, 64, time.Minute)
+	b := newBatcher(net, pool, batcherConfig{batchMax: 2, queueDepth: 64, batchWait: time.Minute})
 	defer b.close()
 
 	reqs := make([]*request, 3)

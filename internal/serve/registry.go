@@ -11,6 +11,7 @@ import (
 	"snapea/internal/faults"
 	"snapea/internal/metrics"
 	"snapea/internal/models"
+	"snapea/internal/resilience"
 	"snapea/internal/snapea"
 	"snapea/internal/tensor"
 )
@@ -35,8 +36,11 @@ func (k modelKey) String() string { return k.Model + "/" + k.Mode }
 // entry is one registry slot. The first requester compiles; everyone
 // else waits on ready — singleflight-style, so a burst of cold requests
 // for the same model compiles exactly once. Both success and failure are
-// cached: an unknown model name stays wrong on retry, and caching the
-// error keeps a misconfigured client from forcing a rebuild per request.
+// cached, but failures are classified: a permanent error (unknown model,
+// malformed params) stays cached so a misconfigured client cannot force
+// a rebuild per request, while a transient one (the params file was
+// momentarily unreadable) evicts the entry so the next request retries
+// the compile.
 type entry struct {
 	key   modelKey
 	ready chan struct{}
@@ -46,7 +50,12 @@ type entry struct {
 	inShape tensor.Shape // single-image input shape (N=1)
 	classes int
 	batcher *batcher
+	breaker *resilience.Breaker
+	guard   *resilience.Guardrail
 	err     error
+	// transient marks err as retryable: the registry swaps in a fresh
+	// entry on the next get instead of serving the cached failure.
+	transient bool
 }
 
 // registry lazily compiles and caches snapea.Network plans and their
@@ -69,7 +78,10 @@ func newRegistry(cfg Config, pool *tensorPool) *registry {
 }
 
 // get returns the ready entry for key, compiling it on first use. It
-// blocks until the compile finishes or ctx is done.
+// blocks until the compile finishes or ctx is done. A cached transient
+// failure is evicted and retried here — exactly one of the callers that
+// observe it becomes the new compiler (the swap happens under the lock),
+// the rest wait on the fresh entry.
 func (r *registry) get(ctx context.Context, key modelKey) (*entry, error) {
 	r.mu.Lock()
 	if r.closed {
@@ -77,26 +89,42 @@ func (r *registry) get(ctx context.Context, key modelKey) (*entry, error) {
 		return nil, ErrShuttingDown
 	}
 	e, ok := r.entries[key]
-	if !ok {
-		e = &entry{key: key, ready: make(chan struct{})}
-		r.entries[key] = e
+	if ok {
+		select {
+		case <-e.ready:
+			if e.err != nil && e.transient {
+				// Retry a transiently-failed compile: replace the slot so
+				// concurrent getters singleflight onto the new attempt.
+				e = &entry{key: key, ready: make(chan struct{})}
+				r.entries[key] = e
+				r.mu.Unlock()
+				if metrics.Enabled() {
+					metrics.RC("serve.compile_retries", nil).Add(1)
+				}
+				r.compile(e)
+				return e.result()
+			}
+		default:
+		}
 		r.mu.Unlock()
 		if metrics.Enabled() {
-			metrics.RC("serve.compile_cache.misses", nil).Add(1)
+			metrics.RC("serve.compile_cache.hits", nil).Add(1)
 		}
-		r.compile(e)
-		return e.result()
+		select {
+		case <-e.ready:
+			return e.result()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+	e = &entry{key: key, ready: make(chan struct{})}
+	r.entries[key] = e
 	r.mu.Unlock()
 	if metrics.Enabled() {
-		metrics.RC("serve.compile_cache.hits", nil).Add(1)
+		metrics.RC("serve.compile_cache.misses", nil).Add(1)
 	}
-	select {
-	case <-e.ready:
-		return e.result()
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
+	r.compile(e)
+	return e.result()
 }
 
 func (e *entry) result() (*entry, error) {
@@ -106,7 +134,9 @@ func (e *entry) result() (*entry, error) {
 	return e, nil
 }
 
-// compile builds and compiles the entry's network, then closes ready.
+// compile builds and compiles the entry's network, constructs its
+// supervision (circuit breaker, and for predictive entries the accuracy
+// guardrail with an exact-mode fallback network), then closes ready.
 func (r *registry) compile(e *entry) {
 	defer close(e.ready)
 	r.compiles.Add(1)
@@ -123,6 +153,7 @@ func (r *registry) compile(e *entry) {
 	if cfg.Faults.Enabled() {
 		inj = faults.New(cfg.Faults)
 	}
+	var fallback *snapea.Network
 	switch e.key.Mode {
 	case ModeExact:
 		e.net = snapea.CompileFaulty(m, nil, cfg.NegOrder, inj)
@@ -134,7 +165,14 @@ func (r *registry) compile(e *entry) {
 		}
 		data, err := os.ReadFile(path)
 		if err != nil {
+			// I/O failures are transient by classification: the path is
+			// registered in the server config, so an unreadable file is
+			// deployment skew (params still syncing, NFS flake, permission
+			// churn) that a later request may find resolved. Content
+			// errors below are permanent — rereading the same bytes cannot
+			// fix them.
 			e.err = fmt.Errorf("serve: params %s: %w", path, err)
+			e.transient = true
 			return
 		}
 		f, err := snapea.ParseParams(data)
@@ -151,6 +189,19 @@ func (r *registry) compile(e *entry) {
 			params[node] = p
 		}
 		e.net = snapea.CompileFaulty(m, params, cfg.NegOrder, inj)
+		// The guardrail degrades this model to exact execution; compile
+		// the exact sibling now so degradation never stalls on a compile.
+		// Guarding without a fallback would be a one-way trip, so the
+		// guardrail exists only when the fallback does.
+		if cfg.MispredictBudget > 0 {
+			fe, ferr := r.get(context.Background(), modelKey{Model: e.key.Model, Mode: ModeExact})
+			if ferr != nil {
+				e.err = fmt.Errorf("serve: compile exact fallback for %s: %w", e.key, ferr)
+				e.transient = true
+				return
+			}
+			fallback = fe.net
+		}
 	default:
 		e.err = fmt.Errorf("%w: unknown mode %q (want %s or %s)", errBadRequest, e.key.Mode, ModeExact, ModePredictive)
 		return
@@ -160,9 +211,57 @@ func (r *registry) compile(e *entry) {
 	if e.classes == 0 {
 		e.classes = 10
 	}
-	e.batcher = newBatcher(e.net, r.pool,
-		metrics.Labels{"model": e.key.Model, "mode": e.key.Mode},
-		cfg.BatchMax, cfg.QueueDepth, cfg.BatchWait)
+
+	lbl := metrics.Labels{"model": e.key.Model, "mode": e.key.Mode}
+	if cfg.BreakerFailures >= 0 {
+		e.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+			Failures: cfg.BreakerFailures,
+			OpenFor:  cfg.BreakerOpenFor,
+			Probes:   cfg.BreakerProbes,
+			OnTransition: func(from, to resilience.State) {
+				if !metrics.Enabled() {
+					return
+				}
+				metrics.RG("serve.breaker_state", lbl).Set(int64(to))
+				metrics.RC("serve.breaker_transitions", lbl).Add(1)
+				if to == resilience.Open {
+					metrics.RC("serve.breaker_opens", lbl).Add(1)
+				}
+			},
+		})
+	}
+	if fallback != nil {
+		e.guard = resilience.NewGuardrail(resilience.GuardConfig{
+			Budget:     cfg.MispredictBudget,
+			Window:     cfg.GuardWindow,
+			MinWindows: cfg.GuardMinWindows,
+			Cooldown:   cfg.GuardCooldown,
+			OnChange: func(degraded bool) {
+				if !metrics.Enabled() {
+					return
+				}
+				if degraded {
+					metrics.RG("serve.degraded", lbl).Set(1)
+					metrics.RC("serve.degrade_events", lbl).Add(1)
+				} else {
+					metrics.RG("serve.degraded", lbl).Set(0)
+					metrics.RC("serve.recover_events", lbl).Add(1)
+				}
+			},
+		})
+	}
+	e.batcher = newBatcher(e.net, r.pool, batcherConfig{
+		label:      lbl,
+		site:       e.key.String(),
+		batchMax:   cfg.BatchMax,
+		queueDepth: cfg.QueueDepth,
+		batchWait:  cfg.BatchWait,
+		deadline:   cfg.BatchDeadline,
+		auditEvery: cfg.AuditEvery,
+		breaker:    e.breaker,
+		guard:      e.guard,
+		fallback:   fallback,
+	})
 }
 
 // list returns the successfully compiled entries, sorted by key, for

@@ -40,6 +40,7 @@ import (
 	"snapea/internal/faults"
 	"snapea/internal/metrics"
 	"snapea/internal/models"
+	"snapea/internal/resilience"
 	"snapea/internal/snapea"
 	"snapea/internal/tensor"
 )
@@ -76,6 +77,41 @@ type Config struct {
 	// RequestTimeout is the per-request deadline applied on top of the
 	// client's context (default 5s; <0 disables).
 	RequestTimeout time.Duration
+	// BatchDeadline is the watchdog budget for one batch execution; a
+	// batch still running past it fails with ErrBatchDeadline and is
+	// abandoned, isolating a hung model from the rest of the server
+	// (default 30s; <0 disables).
+	BatchDeadline time.Duration
+	// BreakerFailures consecutive batch failures open a model's circuit
+	// breaker (default 5; <0 disables the breaker entirely).
+	BreakerFailures int
+	// BreakerOpenFor is how long an open breaker rejects before
+	// admitting half-open probes (default 2s).
+	BreakerOpenFor time.Duration
+	// BreakerProbes consecutive half-open successes close the breaker
+	// again (default 2).
+	BreakerProbes int
+	// MispredictBudget is the accuracy guardrail's error budget: the
+	// tolerated fraction of mispredicted (wrongly speculative-zeroed)
+	// windows over the audit window. Exceeding it degrades a predictive
+	// model to exact execution until the cooldown elapses (default 0 =
+	// guardrail disabled).
+	MispredictBudget float64
+	// GuardWindow is the guardrail's sliding window in audited batches
+	// (default 32).
+	GuardWindow int
+	// GuardMinWindows is the minimum convolution-window coverage before
+	// the guardrail judges the rate (default 512).
+	GuardMinWindows int64
+	// GuardCooldown is how many degraded batches a model serves before
+	// the guardrail probes predictive mode again (default 16).
+	GuardCooldown int
+	// AuditEvery runs every Nth healthy predictive batch with exact
+	// misprediction accounting (RunOpts.CollectPrediction) to feed the
+	// guardrail; auditing costs the speculated windows' dense MACs, so
+	// the cadence trades oversight for throughput (default 8; <0
+	// disables auditing).
+	AuditEvery int64
 	// Faults, when enabled, compiles every network through the fault
 	// injector — chaos testing for the serving path.
 	Faults faults.Config
@@ -93,6 +129,30 @@ func (c Config) normalize() Config {
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 5 * time.Second
+	}
+	if c.BatchDeadline == 0 {
+		c.BatchDeadline = 30 * time.Second
+	}
+	if c.BreakerFailures == 0 {
+		c.BreakerFailures = 5
+	}
+	if c.BreakerOpenFor <= 0 {
+		c.BreakerOpenFor = 2 * time.Second
+	}
+	if c.BreakerProbes <= 0 {
+		c.BreakerProbes = 2
+	}
+	if c.GuardWindow <= 0 {
+		c.GuardWindow = 32
+	}
+	if c.GuardMinWindows <= 0 {
+		c.GuardMinWindows = 512
+	}
+	if c.GuardCooldown <= 0 {
+		c.GuardCooldown = 16
+	}
+	if c.AuditEvery == 0 {
+		c.AuditEvery = 8
 	}
 	if c.Classes == 0 {
 		c.Classes = 10
@@ -178,6 +238,9 @@ type predictResponse struct {
 	InferUS      int64     `json:"infer_us"`
 	TotalUS      int64     `json:"total_us"`
 	MacReduction float64   `json:"mac_reduction"`
+	// Degraded marks a predictive request served through the exact
+	// fallback because the accuracy guardrail tripped.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // errorResponse is the JSON reply on any non-2xx status.
@@ -199,6 +262,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "compiling models", http.StatusServiceUnavailable)
 	default:
 		io.WriteString(w, "ready\n")
+		// Per-model supervision status, one line each — a degraded or
+		// broken model does not flip overall readiness (the server still
+		// serves its other models), but operators see it here.
+		for _, e := range s.reg.list() {
+			fmt.Fprintf(w, "%s breaker=%s degraded=%v\n",
+				e.key, e.breaker.State(), e.guard.Degraded())
+		}
 	}
 }
 
@@ -214,6 +284,11 @@ type modelInfo struct {
 	InputShape string `json:"input_shape"`
 	InputElems int    `json:"input_elems"`
 	Classes    int    `json:"classes"`
+	// Breaker is the model's circuit-breaker position: "closed", "open",
+	// or "half-open".
+	Breaker string `json:"breaker"`
+	// Degraded reports the accuracy guardrail forcing exact execution.
+	Degraded bool `json:"degraded"`
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -225,6 +300,8 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			InputShape: e.inShape.String(),
 			InputElems: e.inShape.Elems(),
 			Classes:    e.classes,
+			Breaker:    e.breaker.State().String(),
+			Degraded:   e.guard.Degraded(),
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -262,6 +339,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	e, err := s.reg.get(ctx, modelKey{Model: model, Mode: mode})
 	if err != nil {
 		s.fail(w, r, statusOf(err), err)
+		return
+	}
+
+	// Circuit breaker: while this model's batches are failing, shed its
+	// load immediately instead of queueing requests into a broken
+	// pipeline. The Retry-After hint is the breaker's remaining open
+	// time, so well-behaved clients return right when probes begin.
+	if ra, berr := e.breaker.Allow(); berr != nil {
+		w.Header().Set("Retry-After", retryAfter(ra))
+		if metrics.Enabled() {
+			metrics.RC("serve.breaker_rejects", metrics.Labels{"model": model, "mode": mode}).Add(1)
+		}
+		s.fail(w, r, statusOf(berr), berr)
 		return
 	}
 
@@ -313,6 +403,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		InferUS:      resp.inferTime.Microseconds(),
 		TotalUS:      total.Microseconds(),
 		MacReduction: resp.reduction,
+		Degraded:     resp.degraded,
 	})
 }
 
@@ -380,18 +471,19 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, code int, err erro
 	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
 }
 
-// statusOf maps admission/registry errors to HTTP statuses.
+// statusOf maps admission/registry/resilience errors to HTTP statuses.
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, resilience.ErrOpen):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, errUnknownModel):
 		return http.StatusNotFound
 	case errors.Is(err, errBadRequest):
 		return http.StatusBadRequest
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, ErrBatchDeadline),
+		errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
