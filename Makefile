@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-smoke bench bench-smoke bench-serve invariance metrics-smoke serve-smoke chaos-smoke ci clean
+.PHONY: build test race vet fuzz-smoke bench bench-gate bench-smoke bench-serve invariance metrics-smoke serve-smoke chaos-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -21,13 +21,24 @@ fuzz-smoke:
 	$(GO) test ./internal/snapea -run '^$$' -fuzz 'FuzzLoadParams' -fuzztime 10s
 
 # Worker-count benchmark sweep over the parallelized hot paths; results
-# land in BENCH_PR2.json (name → ns/op, allocs/op, workers). The
+# land in BENCH_PR7.json (name → ns/op, allocs/op, workers), the
+# checked-in baseline bench-gate diffs against. The
 # BenchmarkLayerPlanRunMetrics disabled/enabled pair is the guard that
 # disabled-metrics instrumentation stays free on the hot path.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkConv2DForward|BenchmarkForwardGEMM|BenchmarkLayerPlanRun|BenchmarkOptimizerRunCtx' \
-		-benchmem ./internal/nn ./internal/snapea | $(GO) run ./internal/tools/benchjson -o BENCH_PR2.json
+		-benchmem -count=3 ./internal/nn ./internal/snapea | $(GO) run ./internal/tools/benchjson -o BENCH_PR7.json
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/metrics
+
+# Perf-regression gate on the execution kernel: rerun the single-worker
+# layer benchmark fresh, take the min of five 1s rounds, and fail if it
+# is more than 10% slower than the checked-in BENCH_PR7.json baseline.
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkLayerPlanRun$$/workers=1$$' -benchtime=1s -count=5 \
+		./internal/snapea | $(GO) run ./internal/tools/benchjson -o bench-gate.json
+	$(GO) run ./internal/tools/benchdiff -baseline BENCH_PR7.json -current bench-gate.json \
+		-bench 'BenchmarkLayerPlanRun/' -max-regress 10
+	rm -f bench-gate.json
 
 # One iteration of every benchmark — catches bit-rotted bench code
 # without paying for real measurements.
@@ -69,8 +80,8 @@ chaos-smoke:
 	GO=$(GO) sh scripts/chaos_smoke.sh
 
 # The tier-1+ gate: everything CI runs before a merge.
-ci: vet build race fuzz-smoke bench-smoke invariance metrics-smoke serve-smoke chaos-smoke
+ci: vet build race fuzz-smoke bench-smoke bench-gate invariance metrics-smoke serve-smoke chaos-smoke
 
 clean:
 	$(GO) clean ./...
-	rm -f snapea-tune.ckpt snapea-bench.ckpt snapea-metrics-smoke.json
+	rm -f snapea-tune.ckpt snapea-bench.ckpt snapea-metrics-smoke.json bench-gate.json

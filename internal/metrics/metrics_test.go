@@ -215,3 +215,59 @@ func TestResetClears(t *testing.T) {
 		t.Fatalf("reset left %d counters", len(snap.Counters))
 	}
 }
+
+// TestObserveBatchEquivalence pins ObserveBatch to its contract: for any
+// observation sequence, locally bucketing and merging in one shot must
+// leave the histogram in exactly the state the equivalent Observe calls
+// would — same buckets, same sum, same count. The engine's per-window
+// op histogram relies on this to batch millions of observations per
+// layer run without changing any published value.
+func TestObserveBatchEquivalence(t *testing.T) {
+	bounds := []int64{4, 16, 64, 144}
+	vals := []int64{0, 3, 4, 5, 16, 17, 63, 64, 65, 144, 145, 9999, 1}
+
+	r1 := NewRegistry()
+	h1 := r1.Histogram("ops", nil, bounds)
+	for _, v := range vals {
+		h1.Observe(v)
+	}
+
+	r2 := NewRegistry()
+	h2 := r2.Histogram("ops", nil, bounds)
+	counts := make([]int64, len(bounds)+1)
+	var sum int64
+	for _, v := range vals {
+		b := 0
+		for b < len(bounds) && v > bounds[b] {
+			b++
+		}
+		counts[b]++
+		sum += v
+	}
+	h2.ObserveBatch(counts, sum)
+
+	s1 := r1.Snapshot(false).Histograms[0]
+	s2 := r2.Snapshot(false).Histograms[0]
+	if !reflect.DeepEqual(s1.Counts, s2.Counts) || s1.Sum != s2.Sum || s1.Count != s2.Count {
+		t.Fatalf("ObserveBatch diverges from Observe sequence:\n  observe: counts=%v sum=%d n=%d\n  batch:   counts=%v sum=%d n=%d",
+			s1.Counts, s1.Sum, s1.Count, s2.Counts, s2.Sum, s2.Count)
+	}
+
+	// An all-zero batch must be a no-op (no phantom sum/count).
+	h2.ObserveBatch(make([]int64, len(bounds)+1), 123)
+	s2 = r2.Snapshot(false).Histograms[0]
+	if s2.Sum != s1.Sum || s2.Count != s1.Count {
+		t.Fatal("empty ObserveBatch changed sum/count")
+	}
+}
+
+func TestObserveBatchBucketMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ops", nil, []int64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched bucket count did not panic")
+		}
+	}()
+	h.ObserveBatch([]int64{1, 2}, 3) // histogram has 3 buckets, batch has 2
+}

@@ -188,6 +188,20 @@ func forCtx(ctx context.Context, n int, fn func(worker, i int)) error {
 	return ctxErr(ctx)
 }
 
+// For2 fans a 2-D index space through the pool as outer×inner
+// independent work items — the strip-granular fan-out the engine uses
+// for its (kernel, image) grid. Items are handed out dynamically like
+// For's, so unevenly priced strips (kernels whose windows terminate
+// early) balance across workers; fn must treat (i, j) as the only
+// identity of the unit and the worker index purely as a scratch key.
+// Worker indices stay below Workers(outer*inner).
+func For2(outer, inner int, fn func(worker, i, j int)) {
+	if outer <= 0 || inner <= 0 {
+		return
+	}
+	For(outer*inner, func(w, idx int) { fn(w, idx/inner, idx%inner) })
+}
+
 // Map runs fn for every index and collects the results in index order —
 // the simplest ordered reduction.
 func Map[T any](n int, fn func(worker, i int) T) []T {

@@ -159,3 +159,42 @@ func TestLimitDefaultsAndOverride(t *testing.T) {
 		t.Fatalf("Workers(0) = %d", w)
 	}
 }
+
+func TestFor2VisitsEveryPairOnce(t *testing.T) {
+	const outer, inner = 7, 11
+	var counts [outer][inner]int32
+	For2(outer, inner, func(_, i, j int) {
+		atomic.AddInt32(&counts[i][j], 1)
+	})
+	for i := range counts {
+		for j := range counts[i] {
+			if counts[i][j] != 1 {
+				t.Fatalf("pair (%d,%d) visited %d times, want 1", i, j, counts[i][j])
+			}
+		}
+	}
+}
+
+func TestFor2DegenerateDims(t *testing.T) {
+	calls := 0
+	For2(0, 5, func(_, _, _ int) { calls++ })
+	For2(5, 0, func(_, _, _ int) { calls++ })
+	For2(-1, 3, func(_, _, _ int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("degenerate dims ran %d units, want 0", calls)
+	}
+}
+
+func TestFor2WorkerIDsStayBelowWorkers(t *testing.T) {
+	const outer, inner = 4, 9
+	limit := Workers(outer * inner)
+	var bad atomic.Int32
+	For2(outer, inner, func(w, _, _ int) {
+		if w < 0 || w >= limit {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d units saw worker index outside [0,%d)", bad.Load(), limit)
+	}
+}

@@ -448,11 +448,11 @@ func (s *Server) decodeInput(r *http.Request, e *entry) (t *tensor.Tensor, err e
 		}
 		copy(t.Data(), in.Input)
 	}
-	for i, v := range t.Data() {
-		f := float64(v)
-		if math.IsNaN(f) || math.IsInf(f, 0) {
-			return nil, fmt.Errorf("serve: non-finite input at element %d", i)
-		}
+	// One boundary scan via the engine's shared validator; the layers
+	// below run unchecked (see snapea.FirstNonFinite on why once is
+	// enough).
+	if i := snapea.FirstNonFinite(t.Data()); i >= 0 {
+		return nil, fmt.Errorf("serve: non-finite input at element %d", i)
 	}
 	return t, nil
 }

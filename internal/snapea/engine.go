@@ -3,6 +3,7 @@ package snapea
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"snapea/internal/faults"
@@ -68,8 +69,11 @@ func (t *LayerTrace) Reduction() float64 {
 // each position carries the input-plane offset used on the interior fast
 // path and the (ci, ky, kx) coordinates for padded border windows.
 type compiledKernel struct {
-	w          []float32
-	offs       []int32
+	w []float32
+	// offs holds per-tap input-plane offsets as native ints, precomputed
+	// at compile time so the interior hot loops never pay the
+	// int32→int conversion per MAC.
+	offs       []int
 	ci, ky, kx []int32
 	numSpec    int
 	posEnd     int
@@ -79,6 +83,14 @@ type compiledKernel struct {
 	// stuck marks a kernel whose compute lane is dead (fault injection):
 	// every window outputs zero and executes no MACs.
 	stuck bool
+	// zbias marks the (all but impossible) -0 bias, for which the
+	// clipped border strips' zero-add elision is not exact; such a
+	// kernel's border windows take the scalar padded path instead.
+	zbias bool
+	// rowClips[sp.rowOrd(oy)] / colClips[sp.colOrd(ox)] hold the kernel
+	// compacted to its in-bounds taps at each border row / column —
+	// built after fault injection so flipped weights are reflected.
+	rowClips, colClips []clippedTaps
 }
 
 // LayerPlan is a convolution layer compiled for SnaPEA execution at a
@@ -94,6 +106,14 @@ type LayerPlan struct {
 	outH    int
 	outW    int
 	kernels []compiledKernel
+	// strip is the compile-time decomposition of the output geometry
+	// into a border ring and an interior core of lane strips
+	// (engine_strip.go).
+	strip stripPlan
+	// scratchPool recycles per-worker strip scratch (accumulator and
+	// worklist buffers) across Run calls so the hot path stays
+	// allocation-flat.
+	scratchPool sync.Pool
 	// mode labels this plan's metrics: "predictive" when any kernel
 	// speculates, "exact" otherwise. Fixed at compile time.
 	mode string
@@ -153,14 +173,16 @@ func NewLayerPlanFaulty(node string, conv *nn.Conv2D, inShape tensor.Shape, para
 			break
 		}
 	}
+	p.strip = planStrips(conv, inShape, p.outH, p.outW)
+	p.scratchPool.New = func() any { return newStripScratch(p.strip.maxLanes) }
 	inCg := conv.InC / conv.Groups
 	outCg := conv.OutC / conv.Groups
-	plane := int32(inShape.H * inShape.W)
+	plane := inShape.H * inShape.W
 	for k := 0; k < conv.OutC; k++ {
 		rk := Reorder(conv.Kernel(k), params[k], negOrder)
 		ck := compiledKernel{
 			w:       rk.Weights,
-			offs:    make([]int32, len(rk.Weights)),
+			offs:    make([]int, len(rk.Weights)),
 			ci:      make([]int32, len(rk.Weights)),
 			ky:      make([]int32, len(rk.Weights)),
 			kx:      make([]int32, len(rk.Weights)),
@@ -176,10 +198,22 @@ func NewLayerPlanFaulty(node string, conv *nn.Conv2D, inShape tensor.Shape, para
 			ky := rem / int32(conv.KW)
 			kx := rem % int32(conv.KW)
 			ck.ci[i], ck.ky[i], ck.kx[i] = ci, ky, kx
-			ck.offs[i] = ci*plane + ky*int32(inShape.W) + kx
+			ck.offs[i] = int(ci)*plane + int(ky)*inShape.W + int(kx)
 		}
 		if inj != nil {
 			inj.FlipWeightBits(fmt.Sprintf("%s/k%d", node, k), ck.w)
+		}
+		ck.zbias = math.Float32bits(ck.bias) == 1<<31
+		if !ck.zbias {
+			sp := &p.strip
+			ck.rowClips = make([]clippedTaps, 0, len(sp.borderRows))
+			for _, oy := range sp.borderRows {
+				ck.rowClips = append(ck.rowClips, compactClip(&ck, ck.ky, oy*conv.StrideH-conv.PadH, inShape.H))
+			}
+			ck.colClips = make([]clippedTaps, 0, len(sp.borderCols))
+			for _, ox := range sp.borderCols {
+				ck.colClips = append(ck.colClips, compactClip(&ck, ck.kx, ox*conv.StrideW-conv.PadW, inShape.W))
+			}
 		}
 		p.kernels[k] = ck
 	}
@@ -223,19 +257,30 @@ func (p *LayerPlan) Run(in *tensor.Tensor, opts RunOpts) (*tensor.Tensor, *Layer
 		tr.Ops = make([]int32, tr.Windows)
 	}
 
-	// Kernels write disjoint output planes (and index-keyed Ops slots),
-	// so they fan out across the worker pool. Each worker accumulates
-	// into a private LayerTrace shard; the shards are merged afterwards
-	// in worker order. Every shard field is an integer counter, so the
-	// merged totals are identical for any worker count and any dynamic
-	// assignment of kernels to workers.
-	stats := make([]LayerTrace, parallel.Workers(p.outC))
-	parallel.For(p.outC, func(w, k int) {
-		st := &stats[w]
-		for n := 0; n < s.N; n++ {
-			p.runKernel(n, k, in, out, tr, st, opts)
+	// (kernel, image) pairs write disjoint output planes (and index-keyed
+	// Ops slots), so they fan out across the worker pool as strip-granular
+	// work items — finer than whole kernels, which keeps workers busy when
+	// early termination makes kernels unevenly priced. Each worker
+	// accumulates into a private LayerTrace shard; the shards are merged
+	// afterwards in worker order. Every shard field is an integer counter,
+	// so the merged totals are identical for any worker count and any
+	// dynamic assignment of items to workers.
+	workers := parallel.Workers(p.outC * s.N)
+	stats := make([]LayerTrace, workers)
+	scratch := make([]*stripScratch, workers)
+	parallel.For2(p.outC, s.N, func(w, k, n int) {
+		sc := scratch[w]
+		if sc == nil {
+			sc = p.scratchPool.Get().(*stripScratch)
+			scratch[w] = sc
 		}
+		p.runKernel(n, k, in, out, tr, &stats[w], sc, opts)
 	})
+	for _, sc := range scratch {
+		if sc != nil {
+			p.scratchPool.Put(sc)
+		}
+	}
 	for i := range stats {
 		tr.TotalOps += stats[i].TotalOps
 		tr.SpecZero += stats[i].SpecZero
@@ -272,16 +317,39 @@ func (p *LayerPlan) recordMetrics(tr *LayerTrace) {
 	metrics.C("engine.speculative_zeros", lbl).Add(tr.SpecZero)
 	metrics.C("engine.mispredictions", lbl).Add(tr.SpecFN)
 	if tr.Ops != nil {
-		h := metrics.H("engine.window_ops", lbl, windowOpsBounds(tr.KernelSize))
+		// Bucket-count locally and publish one atomic add per bucket per
+		// run instead of one per window: a layer run observes millions of
+		// windows, and per-window atomics made metrics-enabled traced runs
+		// measurably slower than the engine itself.
+		bounds := windowOpsBounds(tr.KernelSize)
+		var bc [8]int64 // ≤7 bounds + overflow
+		counts := bc[:len(bounds)+1]
+		var sum int64
 		for _, op := range tr.Ops {
-			h.Observe(int64(op))
+			v := int64(op)
+			sum += v
+			b := 0
+			for b < len(bounds) && v > bounds[b] {
+				b++
+			}
+			counts[b]++
 		}
+		metrics.H("engine.window_ops", lbl, bounds).ObserveBatch(counts, sum)
 	}
 }
 
+// opsBoundsCache memoizes windowOpsBounds per kernel size: every Run of
+// every plan with the same kernel size shares one immutable bounds
+// slice instead of reallocating it per layer execution.
+var opsBoundsCache sync.Map // int → []int64
+
 // windowOpsBounds buckets per-window MAC counts into eighths of the
-// kernel size (the overflow bucket holds full-length windows).
+// kernel size (the overflow bucket holds full-length windows). The
+// returned slice is shared and must not be modified.
 func windowOpsBounds(kernelSize int) []int64 {
+	if v, ok := opsBoundsCache.Load(kernelSize); ok {
+		return v.([]int64)
+	}
 	var bounds []int64
 	for i := 1; i < 8; i++ {
 		b := int64(kernelSize) * int64(i) / 8
@@ -289,7 +357,8 @@ func windowOpsBounds(kernelSize int) []int64 {
 			bounds = append(bounds, b)
 		}
 	}
-	return bounds
+	v, _ := opsBoundsCache.LoadOrStore(kernelSize, bounds)
+	return v.([]int64)
 }
 
 // RunChecked is Run behind the validation the hardened pipeline needs:
@@ -305,15 +374,33 @@ func (p *LayerPlan) RunChecked(in *tensor.Tensor, opts RunOpts) (*tensor.Tensor,
 	if s.C != p.inShape.C || s.H != p.inShape.H || s.W != p.inShape.W {
 		return nil, nil, fmt.Errorf("snapea: %s compiled for %v, got %v", p.Node, p.inShape, s)
 	}
-	if i := firstNonFinite(in.Data()); i >= 0 {
+	if i := FirstNonFinite(in.Data()); i >= 0 {
 		return nil, nil, fmt.Errorf("snapea: %s: non-finite input at element %d (%v): early termination is undefined on non-finite partial sums; sanitize the input or use the dense nn path", p.Node, i, in.Data()[i])
 	}
 	out, tr := p.Run(in, opts)
 	return out, tr, nil
 }
 
-// firstNonFinite returns the index of the first NaN or ±Inf, or -1.
-func firstNonFinite(d []float32) int {
+// finiteScans counts FirstNonFinite invocations. It exists so tests and
+// benchmarks can prove validation runs once per request at the
+// network/serve boundary instead of once per layer (see
+// Network.ForwardChecked); the counter is a single atomic add per scan,
+// not per element.
+var finiteScans atomic.Int64
+
+// FiniteScans returns the process-wide number of non-finite input scans
+// performed so far.
+func FiniteScans() int64 { return finiteScans.Load() }
+
+// FirstNonFinite returns the index of the first NaN or ±Inf, or -1. It
+// is the single shared implementation of the engine's input validation:
+// callers validate once at the boundary (the serving layer on decode,
+// Network.ForwardChecked on entry) and inner layers then trust
+// already-sanitized activations — a finite input through finite weights
+// yields finite post-ReLU outputs, so re-scanning per layer only burns
+// memory bandwidth.
+func FirstNonFinite(d []float32) int {
+	finiteScans.Add(1)
 	for i, v := range d {
 		f := float64(v)
 		if math.IsNaN(f) || math.IsInf(f, 0) {
@@ -323,8 +410,14 @@ func firstNonFinite(d []float32) int {
 	return -1
 }
 
-// runKernel computes all windows of output channel k for batch element n.
-func (p *LayerPlan) runKernel(n, k int, in, out *tensor.Tensor, tr, st *LayerTrace, opts RunOpts) {
+// runKernel computes all windows of output channel k for batch element
+// n as a border ring plus a strip-mined interior core. Border windows
+// (any tap out of bounds) keep the per-window scalar path; interior
+// rows execute tap-major over strips of consecutive output pixels
+// (engine_strip.go). Both paths accumulate each window in the same tap
+// order, so outputs and traces are byte-identical to the retained
+// scalar reference (runReference) for every geometry.
+func (p *LayerPlan) runKernel(n, k int, in, out *tensor.Tensor, tr, st *LayerTrace, sc *stripScratch, opts RunOpts) {
 	ck := &p.kernels[k]
 	if ck.stuck {
 		// Dead lane: outputs stay zero (out is zero-initialized) and no
@@ -336,47 +429,101 @@ func (p *LayerPlan) runKernel(n, k int, in, out *tensor.Tensor, tr, st *LayerTra
 	ind := in.Data()
 	outd := out.Data()
 	inBase := (n*s.C + int(ck.cBase)) * s.H * s.W
-	kh, kw := conv.KH, conv.KW
-	outRow := ((n*p.outC+k)*p.outH)*p.outW - 0
+	outRow := (n*p.outC + k) * p.outH * p.outW
+	sp := &p.strip
 	for oy := 0; oy < p.outH; oy++ {
 		iy0 := oy*conv.StrideH - conv.PadH
-		for ox := 0; ox < p.outW; ox++ {
+		rowIdx := outRow + oy*p.outW
+		rowBase := inBase + iy0*s.W
+		if oy >= sp.oyLo && oy < sp.oyHi {
+			// Interior row: strip-mined core. The kx-clipped border
+			// columns of this row run in the vertical strips below.
+			for _, span := range sp.spans {
+				base := rowBase + span.ox*conv.StrideW - conv.PadW
+				p.runStrip(ck, ind, outd, base, span.n, conv.StrideW, rowIdx+span.ox, tr, st, sc, opts)
+			}
+			continue
+		}
+		// Border row: iy-clipped strips over the kx-valid columns; only
+		// the corner windows — clipped on both axes — go scalar. A -0
+		// bias (where the zero-add elision is not exact) keeps the whole
+		// row scalar.
+		if ck.zbias {
+			p.borderCols(ck, ind, outd, inBase, iy0, 0, p.outW, s.H, s.W, rowIdx, tr, st, opts)
+			continue
+		}
+		p.borderCols(ck, ind, outd, inBase, iy0, 0, sp.oxLo, s.H, s.W, rowIdx, tr, st, opts)
+		ct := &ck.rowClips[sp.rowOrd(oy)]
+		for _, span := range sp.spans {
+			base := rowBase + span.ox*conv.StrideW - conv.PadW
+			p.runStripClipped(ck, ct, ind, outd, base, span.n, conv.StrideW, rowIdx+span.ox, 1, tr, st, sc, opts)
+		}
+		p.borderCols(ck, ind, outd, inBase, iy0, sp.oxHi, p.outW, s.H, s.W, rowIdx, tr, st, opts)
+	}
+	// Border columns × iy-valid rows: kx-clipped vertical strips, one
+	// lane per output row, striding a whole input row per lane.
+	for _, cr := range [2][2]int{{0, sp.oxLo}, {sp.oxHi, p.outW}} {
+		for ox := cr[0]; ox < cr[1]; ox++ {
 			ix0 := ox*conv.StrideW - conv.PadW
-			interior := iy0 >= 0 && ix0 >= 0 && iy0+kh <= s.H && ix0+kw <= s.W
-			var val float32
-			var ops int32
-			if interior {
-				val, ops = p.window(ck, ind, inBase+iy0*s.W+ix0, st, opts)
-			} else {
-				val, ops = p.windowBorder(ck, ind, inBase, iy0, ix0, s.H, s.W, st, opts)
+			if ck.zbias {
+				for oy := sp.oyLo; oy < sp.oyHi; oy++ {
+					iy0 := oy*conv.StrideH - conv.PadH
+					val, ops := p.windowBorder(ck, ind, inBase, iy0, ix0, s.H, s.W, st, opts)
+					idx := outRow + oy*p.outW + ox
+					outd[idx] = val
+					st.TotalOps += int64(ops)
+					if tr.Ops != nil {
+						tr.Ops[idx] = ops
+					}
+				}
+				continue
 			}
-			idx := outRow + oy*p.outW + ox
-			outd[idx] = val
-			st.TotalOps += int64(ops)
-			if tr.Ops != nil {
-				tr.Ops[idx] = ops
+			ct := &ck.colClips[sp.colOrd(ox)]
+			for _, vs := range sp.vspans {
+				iy0 := vs.ox*conv.StrideH - conv.PadH
+				base := inBase + iy0*s.W + ix0
+				outIdx := outRow + vs.ox*p.outW + ox
+				p.runStripClipped(ck, ct, ind, outd, base, vs.n, conv.StrideH*s.W, outIdx, p.outW, tr, st, sc, opts)
 			}
+		}
+	}
+}
+
+// borderCols runs the scalar padded-window path for output columns
+// [oxLo, oxHi) of one output row.
+func (p *LayerPlan) borderCols(ck *compiledKernel, ind, outd []float32, inBase, iy0, oxLo, oxHi, inH, inW, rowIdx int, tr, st *LayerTrace, opts RunOpts) {
+	conv := p.Conv
+	for ox := oxLo; ox < oxHi; ox++ {
+		ix0 := ox*conv.StrideW - conv.PadW
+		val, ops := p.windowBorder(ck, ind, inBase, iy0, ix0, inH, inW, st, opts)
+		idx := rowIdx + ox
+		outd[idx] = val
+		st.TotalOps += int64(ops)
+		if tr.Ops != nil {
+			tr.Ops[idx] = ops
 		}
 	}
 }
 
 // window executes one interior convolution window with early activation.
 // base is the input index of the window's top-left element in the
-// kernel's channel group.
+// kernel's channel group. It is the retained scalar reference the
+// strip-mined interior kernel is validated against (runReference); the
+// production interior path is runStrip in engine_strip.go.
 func (p *LayerPlan) window(ck *compiledKernel, ind []float32, base int, st *LayerTrace, opts RunOpts) (float32, int32) {
 	acc := ck.bias
 	w, offs := ck.w, ck.offs
 	i := 0
 	// Speculation prefix.
 	for ; i < ck.numSpec; i++ {
-		acc += w[i] * ind[base+int(offs[i])]
+		acc += w[i] * ind[base+offs[i]]
 	}
 	if ck.numSpec > 0 && acc <= ck.th {
 		st.SpecZero++
 		if opts.CollectPrediction {
 			full := acc
 			for j := i; j < len(w); j++ {
-				full += w[j] * ind[base+int(offs[j])]
+				full += w[j] * ind[base+offs[j]]
 			}
 			if full < 0 {
 				st.TruthNeg++
@@ -389,11 +536,11 @@ func (p *LayerPlan) window(ck *compiledKernel, ind []float32, base int, st *Laye
 	}
 	// Positive region: the sum only grows; no checks needed.
 	for ; i < ck.posEnd; i++ {
-		acc += w[i] * ind[base+int(offs[i])]
+		acc += w[i] * ind[base+offs[i]]
 	}
 	// Negative region: the sum only shrinks; first sign flip is final.
 	for ; i < len(w); i++ {
-		acc += w[i] * ind[base+int(offs[i])]
+		acc += w[i] * ind[base+offs[i]]
 		if acc < 0 {
 			i++
 			st.SignZero++
@@ -414,15 +561,20 @@ func (p *LayerPlan) window(ck *compiledKernel, ind []float32, base int, st *Laye
 
 // windowBorder is the padded-window path: out-of-bounds taps read zero
 // (the hardware streams explicit zero padding through the MACs, so they
-// still count as operations).
+// still count as operations). The fetch reuses the precomputed interior
+// offsets — for an in-bounds tap the address is base0+offs[i], exactly
+// like the interior path — so only the two unsigned range tests remain
+// per tap.
 func (p *LayerPlan) windowBorder(ck *compiledKernel, ind []float32, inBase, iy0, ix0, inH, inW int, st *LayerTrace, opts RunOpts) (float32, int32) {
+	base0 := inBase + iy0*inW + ix0
+	ky, kx, offs := ck.ky, ck.kx, ck.offs
 	fetch := func(i int) float32 {
-		iy := iy0 + int(ck.ky[i])
-		ix := ix0 + int(ck.kx[i])
-		if iy < 0 || iy >= inH || ix < 0 || ix >= inW {
-			return 0
+		iy := iy0 + int(ky[i])
+		ix := ix0 + int(kx[i])
+		if uint(iy) < uint(inH) && uint(ix) < uint(inW) {
+			return ind[base0+offs[i]]
 		}
-		return ind[inBase+int(ck.ci[i])*inH*inW+iy*inW+ix]
+		return 0
 	}
 	acc := ck.bias
 	w := ck.w

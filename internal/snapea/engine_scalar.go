@@ -1,0 +1,85 @@
+package snapea
+
+import (
+	"fmt"
+
+	"snapea/internal/tensor"
+)
+
+// runReference is the retained scalar execution path: one gather-MAC
+// per tap per window, windows in raster order, exactly the engine's
+// pre-strip-mining behaviour. It exists as the ground truth the
+// strip-mined interior kernel is validated against — the
+// kernel-equivalence suite asserts Run and runReference produce
+// byte-identical outputs and traces over random geometries, modes, and
+// fault injections. It runs serially and records no metrics.
+func (p *LayerPlan) runReference(in *tensor.Tensor, opts RunOpts) (*tensor.Tensor, *LayerTrace) {
+	s := in.Shape()
+	if s.C != p.inShape.C || s.H != p.inShape.H || s.W != p.inShape.W {
+		panic(fmt.Sprintf("snapea: %s compiled for %v, got %v", p.Node, p.inShape, s))
+	}
+	os := p.OutShape(s.N)
+	out := tensor.New(os)
+	tr := &LayerTrace{
+		Node:       p.Node,
+		KernelSize: p.Conv.KernelSize(),
+		Batch:      s.N,
+		OutC:       p.outC,
+		OutH:       p.outH,
+		OutW:       p.outW,
+	}
+	winPerImg := p.outC * p.outH * p.outW
+	tr.Windows = int64(s.N * winPerImg)
+	tr.DenseOps = tr.Windows * int64(tr.KernelSize)
+	tr.InputElems = int64(s.N) * int64(s.C*s.H*s.W)
+	tr.WeightElems = int64(p.outC) * int64(tr.KernelSize)
+	if opts.CollectWindows {
+		tr.Ops = make([]int32, tr.Windows)
+	}
+	for k := 0; k < p.outC; k++ {
+		for n := 0; n < s.N; n++ {
+			p.runKernelScalar(n, k, in, out, tr, tr, opts)
+		}
+	}
+	if p.faults != nil {
+		seq := p.runSeq.Add(1) - 1
+		p.faults.CorruptActivations(fmt.Sprintf("%s#%d", p.Node, seq), out.Data())
+	}
+	return out, tr
+}
+
+// runKernelScalar computes all windows of output channel k for batch
+// element n through the per-window scalar paths (window/windowBorder).
+func (p *LayerPlan) runKernelScalar(n, k int, in, out *tensor.Tensor, tr, st *LayerTrace, opts RunOpts) {
+	ck := &p.kernels[k]
+	if ck.stuck {
+		return
+	}
+	conv := p.Conv
+	s := in.Shape()
+	ind := in.Data()
+	outd := out.Data()
+	inBase := (n*s.C + int(ck.cBase)) * s.H * s.W
+	kh, kw := conv.KH, conv.KW
+	outRow := (n*p.outC + k) * p.outH * p.outW
+	for oy := 0; oy < p.outH; oy++ {
+		iy0 := oy*conv.StrideH - conv.PadH
+		for ox := 0; ox < p.outW; ox++ {
+			ix0 := ox*conv.StrideW - conv.PadW
+			interior := iy0 >= 0 && ix0 >= 0 && iy0+kh <= s.H && ix0+kw <= s.W
+			var val float32
+			var ops int32
+			if interior {
+				val, ops = p.window(ck, ind, inBase+iy0*s.W+ix0, st, opts)
+			} else {
+				val, ops = p.windowBorder(ck, ind, inBase, iy0, ix0, s.H, s.W, st, opts)
+			}
+			idx := outRow + oy*p.outW + ox
+			outd[idx] = val
+			st.TotalOps += int64(ops)
+			if tr.Ops != nil {
+				tr.Ops[idx] = ops
+			}
+		}
+	}
+}

@@ -1,0 +1,867 @@
+package snapea
+
+import (
+	"sort"
+
+	"snapea/internal/nn"
+	"snapea/internal/tensor"
+)
+
+// This file holds the strip-mined interior execution kernel: the
+// production fast path for all windows whose every tap is in bounds.
+//
+// The scalar engine (window in engine.go) executes one gather-MAC per
+// tap per window, re-deriving addresses and re-testing conditions for
+// every one of the millions of windows a request touches. The strip
+// kernel instead runs tap-major over a strip of consecutive output
+// pixels in one row: for each reordered tap, it streams one contiguous
+// input row segment across all still-active windows ("lanes") of the
+// strip, the software analogue of SnaPEA's parallel PE lanes. An active
+// lane worklist is compacted whenever the speculation-threshold check
+// (after tap numSpec) or the sign check (in the negative suffix)
+// retires a window, so later taps only visit surviving lanes — skipped
+// work stays dense and streamable, the property Cnvlutin2 and Tetris
+// show is what makes ineffectual-work skipping actually pay.
+//
+// Bit-identity: each lane's accumulator starts at the bias and receives
+// w[i]*x[i] in exactly the scalar path's tap order, and every
+// termination decision reads the same accumulator value — so outputs,
+// per-window op counts, and trace totals are byte-identical to the
+// scalar reference for any geometry, mode, and worker count. The
+// kernel-equivalence suite (kernel_equiv_test.go) enforces this.
+
+// maxStripLanes bounds a strip's lane count so the per-worker scratch
+// (accumulators + worklist) stays L1-resident; rows wider than this are
+// split into multiple spans at compile time.
+const maxStripLanes = 256
+
+// stripDrainLanes is the worklist width below which the negative suffix
+// stops running tap-major: with only a handful of live lanes the
+// per-tap loop setup outweighs the streaming win, so the remaining
+// lanes are drained one window at a time with a register-resident
+// accumulator. Both shapes execute the identical per-window tap order,
+// so the switch point affects speed only, never results.
+const stripDrainLanes = 16
+
+// stripSpan is one run of consecutive interior output columns executed
+// as a batch of lanes.
+type stripSpan struct {
+	ox int // first output column of the span
+	n  int // lane count
+}
+
+// stripPlan is the compile-time decomposition of one layer's output
+// geometry. Rows [oyLo, oyHi) are the ones where every kernel row is in
+// bounds; columns [oxLo, oxHi) the ones where every kernel column is.
+// Their intersection is the interior core (runStrip). Border rows run
+// iy-clipped strips over the kx-valid columns; border columns run
+// kx-clipped vertical strips down the iy-valid rows; only the corners —
+// clipped on both axes at once — keep the scalar padded-window path.
+type stripPlan struct {
+	oyLo, oyHi int
+	oxLo, oxHi int
+	spans      []stripSpan // horizontal spans covering [oxLo, oxHi)
+	vspans     []stripSpan // vertical spans covering [oyLo, oyHi)
+	maxLanes   int         // widest span of either kind, sizes the scratch
+	borderRows []int       // oy of every border row: [0, oyLo) ++ [oyHi, outH)
+	borderCols []int       // ox of every border column: [0, oxLo) ++ [oxHi, outW)
+}
+
+// rowOrd maps a border row oy to its index in borderRows; colOrd the
+// same for border columns. Valid only for border coordinates.
+func (sp *stripPlan) rowOrd(oy int) int {
+	if oy < sp.oyLo {
+		return oy
+	}
+	return sp.oyLo + oy - sp.oyHi
+}
+
+func (sp *stripPlan) colOrd(ox int) int {
+	if ox < sp.oxLo {
+		return ox
+	}
+	return sp.oxLo + ox - sp.oxHi
+}
+
+// planStrips computes the interior bounds and span layout for a layer
+// geometry. The in-bounds predicates are monotone in the output
+// coordinate, so the bounds are binary-searched rather than derived
+// with sign-sensitive integer division.
+func planStrips(conv *nn.Conv2D, inShape tensor.Shape, outH, outW int) stripPlan {
+	sp := stripPlan{
+		oyLo: sort.Search(outH, func(oy int) bool { return oy*conv.StrideH-conv.PadH >= 0 }),
+		oyHi: sort.Search(outH, func(oy int) bool { return oy*conv.StrideH-conv.PadH+conv.KH > inShape.H }),
+		oxLo: sort.Search(outW, func(ox int) bool { return ox*conv.StrideW-conv.PadW >= 0 }),
+		oxHi: sort.Search(outW, func(ox int) bool { return ox*conv.StrideW-conv.PadW+conv.KW > inShape.W }),
+	}
+	// Degenerate geometries (input smaller than the kernel overhang) can
+	// leave no valid band at all; normalize to an empty range so the
+	// split below covers every window exactly once.
+	if sp.oyHi < sp.oyLo {
+		sp.oyLo, sp.oyHi = 0, 0
+	}
+	if sp.oxHi < sp.oxLo {
+		sp.oxLo, sp.oxHi = 0, 0
+	}
+	for ox := sp.oxLo; ox < sp.oxHi; ox += maxStripLanes {
+		n := sp.oxHi - ox
+		if n > maxStripLanes {
+			n = maxStripLanes
+		}
+		sp.spans = append(sp.spans, stripSpan{ox: ox, n: n})
+		if n > sp.maxLanes {
+			sp.maxLanes = n
+		}
+	}
+	for oy := sp.oyLo; oy < sp.oyHi; oy += maxStripLanes {
+		n := sp.oyHi - oy
+		if n > maxStripLanes {
+			n = maxStripLanes
+		}
+		sp.vspans = append(sp.vspans, stripSpan{ox: oy, n: n})
+		if n > sp.maxLanes {
+			sp.maxLanes = n
+		}
+	}
+	for oy := 0; oy < sp.oyLo; oy++ {
+		sp.borderRows = append(sp.borderRows, oy)
+	}
+	for oy := sp.oyHi; oy < outH; oy++ {
+		sp.borderRows = append(sp.borderRows, oy)
+	}
+	for ox := 0; ox < sp.oxLo; ox++ {
+		sp.borderCols = append(sp.borderCols, ox)
+	}
+	for ox := sp.oxHi; ox < outW; ox++ {
+		sp.borderCols = append(sp.borderCols, ox)
+	}
+	return sp
+}
+
+// stripScratch is one worker's reusable lane state: per-lane
+// accumulators and the active-lane worklist. At most maxStripLanes
+// entries each, so both live in L1 while a strip executes.
+type stripScratch struct {
+	acc    []float32
+	active []int32
+}
+
+func newStripScratch(lanes int) *stripScratch {
+	if lanes < 1 {
+		lanes = 1
+	}
+	return &stripScratch{
+		acc:    make([]float32, lanes),
+		active: make([]int32, lanes),
+	}
+}
+
+// clippedTaps is a kernel compacted down to the taps that stay in
+// bounds at one border coordinate: the reordered weights, input-plane
+// offsets, and original tap indices (for op accounting) of the valid
+// taps only. One is precompiled per (kernel, border row) and
+// (kernel, border column) pair at plan-build time, after fault
+// injection has perturbed the weights, so the border strips pay no
+// per-tap bounds test at run time.
+type clippedTaps struct {
+	wv  []float32
+	ov  []int
+	iv  []int32
+	nsv int // compacted end of the speculation prefix
+	pv  int // compacted end of the positive region
+	// entryCheck records that the kernel's first suffix tap is clipped
+	// at this coordinate: the scalar path sign-checks there, and it is
+	// the one place a clipped tap can retire a lane (see runStripClipped).
+	entryCheck bool
+}
+
+// compactClip builds the clippedTaps of ck for one border coordinate:
+// tap i is in bounds iff clipBase+clip[i] lands in [0, clipLim).
+func compactClip(ck *compiledKernel, clip []int32, clipBase, clipLim int) clippedTaps {
+	nw := len(ck.w)
+	var ct clippedTaps
+	for i := 0; i < nw; i++ {
+		if uint(clipBase+int(clip[i])) < uint(clipLim) {
+			ct.wv = append(ct.wv, ck.w[i])
+			ct.ov = append(ct.ov, ck.offs[i])
+			ct.iv = append(ct.iv, int32(i))
+			if i < ck.numSpec {
+				ct.nsv++
+			}
+			if i < ck.posEnd {
+				ct.pv++
+			}
+		}
+	}
+	ct.entryCheck = ck.posEnd < nw && (ct.pv == len(ct.wv) || int(ct.iv[ct.pv]) != ck.posEnd)
+	return ct
+}
+
+// runStrip executes one strip of `lanes` consecutive interior windows
+// for one kernel. base is the input index of lane 0's top-left element
+// in the kernel's channel group; lane l's window starts at
+// base + l*strideW. outIdx is the output index of lane 0; lanes write
+// outd[outIdx+l].
+func (p *LayerPlan) runStrip(ck *compiledKernel, ind, outd []float32, base, lanes, strideW, outIdx int, tr, st *LayerTrace, sc *stripScratch, opts RunOpts) {
+	w := ck.w
+	offs := ck.offs
+	nw := len(w)
+	numSpec := ck.numSpec
+	acc := sc.acc[:lanes]
+	for l := range acc {
+		acc[l] = ck.bias
+	}
+
+	// Phase 1 — speculation prefix: every lane unconditionally runs all
+	// numSpec taps, exactly like the scalar path.
+	if strideW == 1 {
+		for i := 0; i < numSpec; i++ {
+			wi := w[i]
+			rb := base + offs[i]
+			row := ind[rb : rb+lanes]
+			a := acc[:len(row)]
+			for l, x := range row {
+				a[l] += wi * x
+			}
+		}
+	} else {
+		for i := 0; i < numSpec; i++ {
+			wi := w[i]
+			rb := base + offs[i]
+			for l := range acc {
+				acc[l] += wi * ind[rb+l*strideW]
+			}
+		}
+	}
+
+	// Retirement counters accumulate in registers and flush to the
+	// per-worker trace shard once per strip, instead of read-modify-write
+	// through the pointer on every retired window.
+	var specZero, signZero, totalOps, truthNeg, specTN, specFN int64
+
+	// Speculation-threshold check: retire predicted-negative lanes and
+	// build the active worklist from the survivors.
+	active := sc.active[:0]
+	if numSpec > 0 {
+		th := ck.th
+		for l := 0; l < lanes; l++ {
+			if acc[l] <= th {
+				specZero++
+				totalOps += int64(numSpec)
+				outd[outIdx+l] = 0
+				if tr.Ops != nil {
+					tr.Ops[outIdx+l] = int32(numSpec)
+				}
+				if opts.CollectPrediction {
+					// True-sign accounting walks the remaining taps in
+					// scalar order for this lane only.
+					full := acc[l]
+					lb := base + l*strideW
+					for j := numSpec; j < nw; j++ {
+						full += w[j] * ind[lb+offs[j]]
+					}
+					if full < 0 {
+						truthNeg++
+						specTN++
+					} else {
+						specFN++
+					}
+				}
+			} else {
+				active = append(active, int32(l))
+			}
+		}
+	} else {
+		for l := 0; l < lanes; l++ {
+			active = append(active, int32(l))
+		}
+	}
+	if len(active) == 0 {
+		st.SpecZero += specZero
+		st.TotalOps += totalOps
+		st.TruthNeg += truthNeg
+		st.SpecTN += specTN
+		st.SpecFN += specFN
+		return
+	}
+
+	// Phase 2 — positive region: the per-lane sum can only grow, so no
+	// checks — and a retired lane's accumulator is dead (its output is
+	// already stored), so the loops run dense over every lane instead of
+	// indirecting through the worklist: the wasted MACs on dead lanes
+	// cost less than per-lane indirection on the live ones, and the
+	// stride-1 loops stay bounds-check-free.
+	if strideW == 1 {
+		// Taps go four at a time so each pass touches the accumulator
+		// once per four MACs; the adds stay left-associated in tap order,
+		// so the rounding sequence is exactly the scalar path's ( +=
+		// would group the products first — see the explicit a = a + ...).
+		i := numSpec
+		for ; i+3 < ck.posEnd; i += 4 {
+			w0, w1, w2, w3 := w[i], w[i+1], w[i+2], w[i+3]
+			rb0, rb1, rb2, rb3 := base+offs[i], base+offs[i+1], base+offs[i+2], base+offs[i+3]
+			row0 := ind[rb0 : rb0+lanes]
+			row1 := ind[rb1 : rb1+lanes]
+			row2 := ind[rb2 : rb2+lanes]
+			row3 := ind[rb3 : rb3+lanes]
+			row1 = row1[:len(row0)]
+			row2 = row2[:len(row0)]
+			row3 = row3[:len(row0)]
+			a := acc[:len(row0)]
+			for l, x0 := range row0 {
+				a[l] = a[l] + w0*x0 + w1*row1[l] + w2*row2[l] + w3*row3[l]
+			}
+		}
+		for ; i < ck.posEnd; i++ {
+			wi := w[i]
+			rb := base + offs[i]
+			row := ind[rb : rb+lanes]
+			a := acc[:len(row)]
+			for l, x := range row {
+				a[l] += wi * x
+			}
+		}
+	} else {
+		for i := numSpec; i < ck.posEnd; i++ {
+			wi := w[i]
+			rb := base + offs[i]
+			for l := range acc {
+				acc[l] += wi * ind[rb+l*strideW]
+			}
+		}
+	}
+
+	// Phase 3 — negative suffix: the sum only shrinks, so the first sign
+	// flip is final. While the worklist is wide, run tap-major and
+	// compact it in place so retired lanes cost nothing on later taps.
+	i := ck.posEnd
+	for ; i < nw && len(active) >= stripDrainLanes; i++ {
+		wi := w[i]
+		rb := base + offs[i]
+		na := active[:0]
+		if strideW == 1 {
+			row := ind[rb:]
+			for _, l := range active {
+				a := acc[l] + wi*row[l]
+				if a < 0 {
+					signZero++
+					totalOps += int64(i + 1)
+					outd[outIdx+int(l)] = 0
+					if tr.Ops != nil {
+						tr.Ops[outIdx+int(l)] = int32(i + 1)
+					}
+					if opts.CollectPrediction {
+						truthNeg++
+					}
+				} else {
+					acc[l] = a
+					na = append(na, l)
+				}
+			}
+		} else {
+			for _, l := range active {
+				a := acc[l] + wi*ind[rb+int(l)*strideW]
+				if a < 0 {
+					signZero++
+					totalOps += int64(i + 1)
+					outd[outIdx+int(l)] = 0
+					if tr.Ops != nil {
+						tr.Ops[outIdx+int(l)] = int32(i + 1)
+					}
+					if opts.CollectPrediction {
+						truthNeg++
+					}
+				} else {
+					acc[l] = a
+					na = append(na, l)
+				}
+			}
+		}
+		active = na
+	}
+
+	if i >= nw {
+		// Suffix fully consumed tap-major; remaining lanes ran the whole
+		// kernel. Clamp a (possible) negative final sum to zero,
+		// mirroring the scalar tail.
+		for _, l := range active {
+			a := acc[l]
+			if a < 0 {
+				if opts.CollectPrediction {
+					truthNeg++
+				}
+				a = 0
+			}
+			outd[outIdx+int(l)] = a
+			totalOps += int64(nw)
+			if tr.Ops != nil {
+				tr.Ops[outIdx+int(l)] = int32(nw)
+			}
+		}
+	} else if nact := len(active); nact > 0 {
+		// Narrow-worklist drain: lanes go four at a time with
+		// register-resident accumulators sharing one tap cursor — four
+		// independent add chains overlap the FP-add latency a single
+		// lane-major chain stalls on. The sign check still runs after
+		// every tap for every live lane (one fused comparison); when a
+		// check retires lanes, the survivors drop to the next narrower
+		// stage and continue from the next tap, so only the last survivor
+		// of a group ever runs a lone latency-bound chain. Per lane, the
+		// tap order and the check-after-every-suffix-tap schedule are
+		// exactly the scalar path's.
+		var ll, llb [4]int
+		var la [4]float32
+		var lb0, lb1, lb2, lb3 int
+		var a0, a1, a2, a3 float32
+		var j, n, m, g int
+		for k := 0; k < nact; k += g {
+			n = nact - k
+			if n > 4 {
+				n = 4
+			}
+			g = n
+			for t := 0; t < n; t++ {
+				l := int(active[k+t])
+				ll[t] = l
+				llb[t] = base + l*strideW
+				la[t] = acc[l]
+			}
+			j = i
+			switch n {
+			case 4:
+				goto quad
+			case 3:
+				goto triple
+			case 2:
+				goto pair
+			default:
+				goto single
+			}
+		quad:
+			a0, a1, a2, a3 = la[0], la[1], la[2], la[3]
+			lb0, lb1, lb2, lb3 = llb[0], llb[1], llb[2], llb[3]
+			for ; j < nw; j++ {
+				wj := w[j]
+				o := offs[j]
+				a0 += wj * ind[lb0+o]
+				a1 += wj * ind[lb1+o]
+				a2 += wj * ind[lb2+o]
+				a3 += wj * ind[lb3+o]
+				if a0 < 0 || a1 < 0 || a2 < 0 || a3 < 0 {
+					break
+				}
+			}
+			la[0], la[1], la[2], la[3] = a0, a1, a2, a3
+			if j >= nw {
+				goto flush
+			}
+			goto compact
+		triple:
+			a0, a1, a2 = la[0], la[1], la[2]
+			lb0, lb1, lb2 = llb[0], llb[1], llb[2]
+			for ; j < nw; j++ {
+				wj := w[j]
+				o := offs[j]
+				a0 += wj * ind[lb0+o]
+				a1 += wj * ind[lb1+o]
+				a2 += wj * ind[lb2+o]
+				if a0 < 0 || a1 < 0 || a2 < 0 {
+					break
+				}
+			}
+			la[0], la[1], la[2] = a0, a1, a2
+			if j >= nw {
+				goto flush
+			}
+			goto compact
+		pair:
+			a0, a1 = la[0], la[1]
+			lb0, lb1 = llb[0], llb[1]
+			for ; j < nw; j++ {
+				wj := w[j]
+				o := offs[j]
+				a0 += wj * ind[lb0+o]
+				a1 += wj * ind[lb1+o]
+				if a0 < 0 || a1 < 0 {
+					break
+				}
+			}
+			la[0], la[1] = a0, a1
+			if j >= nw {
+				goto flush
+			}
+			goto compact
+		single:
+			a0, lb0 = la[0], llb[0]
+			for ; j < nw; j++ {
+				a0 += w[j] * ind[lb0+offs[j]]
+				if a0 < 0 {
+					break
+				}
+			}
+			la[0] = a0
+			if j >= nw {
+				goto flush
+			}
+		compact:
+			// Tap j retired at least one live lane; every lane checked the
+			// same tap, so each negative one records ops j+1 and the
+			// survivors resume together at tap j+1.
+			m = 0
+			for t := 0; t < n; t++ {
+				if la[t] < 0 {
+					signZero++
+					totalOps += int64(j + 1)
+					outd[outIdx+ll[t]] = 0
+					if tr.Ops != nil {
+						tr.Ops[outIdx+ll[t]] = int32(j + 1)
+					}
+					if opts.CollectPrediction {
+						truthNeg++
+					}
+				} else {
+					ll[m], llb[m], la[m] = ll[t], llb[t], la[t]
+					m++
+				}
+			}
+			n = m
+			j++
+			switch n {
+			case 3:
+				goto triple
+			case 2:
+				goto pair
+			case 1:
+				goto single
+			}
+			continue
+		flush:
+			// Survivors ran the full kernel; clamp a (possible) negative
+			// final sum to zero, mirroring the scalar tail.
+			for t := 0; t < n; t++ {
+				v := la[t]
+				if v < 0 {
+					if opts.CollectPrediction {
+						truthNeg++
+					}
+					v = 0
+				}
+				outd[outIdx+ll[t]] = v
+				totalOps += int64(nw)
+				if tr.Ops != nil {
+					tr.Ops[outIdx+ll[t]] = int32(nw)
+				}
+			}
+		}
+	}
+
+	st.SpecZero += specZero
+	st.SignZero += signZero
+	st.TotalOps += totalOps
+	st.TruthNeg += truthNeg
+	st.SpecTN += specTN
+	st.SpecFN += specFN
+}
+
+// runStripClipped executes one strip of `lanes` windows whose taps are
+// clipped along ONE axis, uniformly across the strip, using the
+// kernel's precompiled clippedTaps for that border coordinate. It
+// serves the two border-ring strip families — border rows (lanes
+// advancing along the row) and border columns (lanes advancing down the
+// iy-valid rows, so laneStride is a whole input row and outStride a
+// whole output row).
+//
+// An out-of-bounds tap adds w[i]*0 = ±0 to every accumulator. Adding -0
+// is a bitwise no-op on any float, and adding +0 changes only a -0
+// accumulator (to +0). A -0 accumulator can only ever arise from a -0
+// bias: float addition produces -0 solely from (-0)+(-0), so a chain
+// seeded with anything else can never reach it. Kernels whose bias is
+// not -0 (checked at compile time; see compiledKernel.zbias) can
+// therefore skip the zero-adds wholesale and stream branch-free over
+// the compacted valid taps, with the original tap indices retained for
+// the op counts. The sole observable effect a clipped tap retains is
+// its sign check at the suffix boundary, handled via ct.entryCheck.
+func (p *LayerPlan) runStripClipped(ck *compiledKernel, ct *clippedTaps, ind, outd []float32, base, lanes, laneStride, outIdx, outStride int, tr, st *LayerTrace, sc *stripScratch, opts RunOpts) {
+	nw := len(ck.w)
+	numSpec := ck.numSpec
+	wv, ov, iv := ct.wv, ct.ov, ct.iv
+	nsv, pv := ct.nsv, ct.pv
+	nv := len(wv)
+
+	acc := sc.acc[:lanes]
+	for l := range acc {
+		acc[l] = ck.bias
+	}
+
+	var specZero, signZero, totalOps, truthNeg, specTN, specFN int64
+
+	// Speculation prefix: all lanes run the valid speculative taps.
+	for m := 0; m < nsv; m++ {
+		wi := wv[m]
+		rb := base + ov[m]
+		for l := range acc {
+			acc[l] += wi * ind[rb+l*laneStride]
+		}
+	}
+
+	// Speculation-threshold check.
+	active := sc.active[:0]
+	if numSpec > 0 {
+		th := ck.th
+		for l := 0; l < lanes; l++ {
+			if acc[l] <= th {
+				specZero++
+				totalOps += int64(numSpec)
+				idx := outIdx + l*outStride
+				outd[idx] = 0
+				if tr.Ops != nil {
+					tr.Ops[idx] = int32(numSpec)
+				}
+				if opts.CollectPrediction {
+					full := acc[l]
+					lb := base + l*laneStride
+					for m := nsv; m < nv; m++ {
+						full += wv[m] * ind[lb+ov[m]]
+					}
+					if full < 0 {
+						truthNeg++
+						specTN++
+					} else {
+						specFN++
+					}
+				}
+			} else {
+				active = append(active, int32(l))
+			}
+		}
+	} else {
+		for l := 0; l < lanes; l++ {
+			active = append(active, int32(l))
+		}
+	}
+	if len(active) == 0 {
+		st.SpecZero += specZero
+		st.TotalOps += totalOps
+		st.TruthNeg += truthNeg
+		st.SpecTN += specTN
+		st.SpecFN += specFN
+		return
+	}
+
+	// Positive region: the sums can only grow, so there are no checks
+	// and the worklist cannot shrink — and a retired lane's accumulator
+	// is dead (its output is already stored), so the loop runs dense
+	// over every lane rather than indirecting through the worklist.
+	for m := nsv; m < pv; m++ {
+		wi := wv[m]
+		rb := base + ov[m]
+		if laneStride == 1 {
+			row := ind[rb : rb+lanes]
+			a := acc[:len(row)]
+			for l, x := range row {
+				a[l] += wi * x
+			}
+		} else {
+			for l := range acc {
+				acc[l] += wi * ind[rb+l*laneStride]
+			}
+		}
+	}
+
+	// Suffix entry: the scalar path checks the sign after every suffix
+	// tap, clipped or not. A clipped first suffix tap is the one place a
+	// clipped tap can retire a lane — a lane still negative out of the
+	// positive region dies there with its ±0 add. Every survivor of that
+	// check is >= 0, and a ±0 add can neither change a non-(-0) sum nor
+	// flip its sign, so all later clipped taps are exact no-ops and the
+	// compacted walk below visits valid taps only.
+	if ct.entryCheck {
+		na := active[:0]
+		for _, l := range active {
+			if acc[l] < 0 {
+				signZero++
+				totalOps += int64(ck.posEnd + 1)
+				idx := outIdx + int(l)*outStride
+				outd[idx] = 0
+				if tr.Ops != nil {
+					tr.Ops[idx] = int32(ck.posEnd + 1)
+				}
+				if opts.CollectPrediction {
+					truthNeg++
+				}
+			} else {
+				na = append(na, l)
+			}
+		}
+		active = na
+	}
+
+	// Negative suffix, tap-major over the valid taps while the worklist
+	// is wide; retirement records the original tap index.
+	m := pv
+	for ; m < nv && len(active) >= stripDrainLanes; m++ {
+		wi := wv[m]
+		rb := base + ov[m]
+		ii := int(iv[m])
+		na := active[:0]
+		for _, l := range active {
+			a := acc[l] + wi*ind[rb+int(l)*laneStride]
+			if a < 0 {
+				signZero++
+				totalOps += int64(ii + 1)
+				idx := outIdx + int(l)*outStride
+				outd[idx] = 0
+				if tr.Ops != nil {
+					tr.Ops[idx] = int32(ii + 1)
+				}
+				if opts.CollectPrediction {
+					truthNeg++
+				}
+			} else {
+				acc[l] = a
+				na = append(na, l)
+			}
+		}
+		active = na
+	}
+
+	if m >= nv {
+		// No valid suffix taps remain; survivors ran the whole kernel.
+		// Clamp a (possible) negative final sum to zero, mirroring the
+		// scalar tail.
+		for _, l := range active {
+			a := acc[l]
+			if a < 0 {
+				if opts.CollectPrediction {
+					truthNeg++
+				}
+				a = 0
+			}
+			idx := outIdx + int(l)*outStride
+			outd[idx] = a
+			totalOps += int64(nw)
+			if tr.Ops != nil {
+				tr.Ops[idx] = int32(nw)
+			}
+		}
+	} else if nact := len(active); nact > 0 {
+		// Narrow-worklist drain, exactly runStrip's pair drain over the
+		// compacted taps: two register-resident accumulator chains, sign
+		// check after every valid tap, the surviving half of a pair
+		// falling through to the shared single-lane tail.
+		for k := 0; k < nact; k += 2 {
+			l0 := int(active[k])
+			lb0 := base + l0*laneStride
+			a0 := acc[l0]
+			m0 := m
+			if k+1 < nact {
+				l1 := int(active[k+1])
+				lb1 := base + l1*laneStride
+				a1 := acc[l1]
+				j := m
+				for ; j < nv; j++ {
+					wj := wv[j]
+					o := ov[j]
+					a0 += wj * ind[lb0+o]
+					a1 += wj * ind[lb1+o]
+					if a0 < 0 || a1 < 0 {
+						break
+					}
+				}
+				if j >= nv {
+					v := a1
+					if v < 0 {
+						if opts.CollectPrediction {
+							truthNeg++
+						}
+						v = 0
+					}
+					outd[outIdx+l1*outStride] = v
+					totalOps += int64(nw)
+					if tr.Ops != nil {
+						tr.Ops[outIdx+l1*outStride] = int32(nw)
+					}
+					v = a0
+					if v < 0 {
+						if opts.CollectPrediction {
+							truthNeg++
+						}
+						v = 0
+					}
+					outd[outIdx+l0*outStride] = v
+					totalOps += int64(nw)
+					if tr.Ops != nil {
+						tr.Ops[outIdx+l0*outStride] = int32(nw)
+					}
+					continue
+				}
+				ii := int(iv[j])
+				if a1 < 0 {
+					signZero++
+					totalOps += int64(ii + 1)
+					outd[outIdx+l1*outStride] = 0
+					if tr.Ops != nil {
+						tr.Ops[outIdx+l1*outStride] = int32(ii + 1)
+					}
+					if opts.CollectPrediction {
+						truthNeg++
+					}
+				}
+				if a0 < 0 {
+					signZero++
+					totalOps += int64(ii + 1)
+					outd[outIdx+l0*outStride] = 0
+					if tr.Ops != nil {
+						tr.Ops[outIdx+l0*outStride] = int32(ii + 1)
+					}
+					if opts.CollectPrediction {
+						truthNeg++
+					}
+					if a1 < 0 {
+						continue
+					}
+					l0, lb0, a0 = l1, lb1, a1
+				}
+				m0 = j + 1
+			}
+			j := m0
+			for ; j < nv; j++ {
+				a0 += wv[j] * ind[lb0+ov[j]]
+				if a0 < 0 {
+					break
+				}
+			}
+			if j < nv {
+				signZero++
+				totalOps += int64(int(iv[j]) + 1)
+				outd[outIdx+l0*outStride] = 0
+				if tr.Ops != nil {
+					tr.Ops[outIdx+l0*outStride] = int32(int(iv[j]) + 1)
+				}
+				if opts.CollectPrediction {
+					truthNeg++
+				}
+				continue
+			}
+			v := a0
+			if v < 0 {
+				if opts.CollectPrediction {
+					truthNeg++
+				}
+				v = 0
+			}
+			outd[outIdx+l0*outStride] = v
+			totalOps += int64(nw)
+			if tr.Ops != nil {
+				tr.Ops[outIdx+l0*outStride] = int32(nw)
+			}
+		}
+	}
+
+	st.SpecZero += specZero
+	st.SignZero += signZero
+	st.TotalOps += totalOps
+	st.TruthNeg += truthNeg
+	st.SpecTN += specTN
+	st.SpecFN += specFN
+}

@@ -38,7 +38,95 @@ func NewFCPlan(node string, fc *nn.FC, negOrder NegOrder) *FCPlan {
 
 // Run executes the layer with early termination. The output is
 // bit-identical to FC.Forward for non-negative inputs.
+//
+// Like the convolution engine's interior strips, execution is tap-major
+// with lane batching: for each output neuron the batch rows are the
+// lanes, every tap's weight and input index are loaded once and applied
+// across the active worklist, and lanes retire out of the worklist as
+// the sign check fires. Each lane's accumulator still receives its taps
+// in the exact scalar order (bias first, one product added at a time),
+// so outputs and traces are byte-identical to runFCReference.
 func (p *FCPlan) Run(in *tensor.Tensor, opts RunOpts) (*tensor.Tensor, *LayerTrace) {
+	out, tr := p.fcSetup(in, opts)
+	s := in.Shape()
+	per := p.FC.In
+	nOut := p.FC.Out
+	ind := in.Data()
+	outd := out.Data()
+	acc := make([]float32, s.N)
+	active := make([]int32, 0, s.N)
+	for o := 0; o < nOut; o++ {
+		rk := &p.kernels[o]
+		ws, idx := rk.Weights, rk.Index
+		nw := len(ws)
+		bias := p.FC.Bias[o]
+		for n := range acc {
+			acc[n] = bias
+		}
+		i := 0
+		// Positive region (FC plans are exact: no speculation prefix):
+		// the sum only grows, so every lane stays live.
+		for ; i < rk.PosEnd; i++ {
+			w := ws[i]
+			x := int(idx[i])
+			for n := 0; n < s.N; n++ {
+				acc[n] = acc[n] + w*ind[n*per+x]
+			}
+		}
+		active = active[:0]
+		for n := 0; n < s.N; n++ {
+			active = append(active, int32(n))
+		}
+		// Negative suffix: sign check after every tap, worklist
+		// compacted in place as lanes retire.
+		for ; i < nw && len(active) > 0; i++ {
+			w := ws[i]
+			x := int(idx[i])
+			na := active[:0]
+			for _, n := range active {
+				a := acc[n] + w*ind[int(n)*per+x]
+				acc[n] = a
+				if a < 0 {
+					tr.SignZero++
+					widx := int(n)*nOut + o
+					outd[widx] = 0
+					tr.TotalOps += int64(i + 1)
+					if tr.Ops != nil {
+						tr.Ops[widx] = int32(i + 1)
+					}
+					if opts.CollectPrediction {
+						tr.TruthNeg++
+					}
+				} else {
+					na = append(na, n)
+				}
+			}
+			active = na
+		}
+		// Survivors ran the full kernel; a negative final sum (only
+		// possible when there is no negative suffix) clamps to zero.
+		for _, n := range active {
+			a := acc[n]
+			if a < 0 {
+				a = 0
+			}
+			widx := int(n)*nOut + o
+			outd[widx] = a
+			tr.TotalOps += int64(nw)
+			if tr.Ops != nil {
+				tr.Ops[widx] = int32(nw)
+			}
+			if opts.CollectPrediction && a == 0 {
+				tr.TruthNeg++
+			}
+		}
+	}
+	return out, tr
+}
+
+// fcSetup allocates the output tensor and trace shared by Run and the
+// scalar reference.
+func (p *FCPlan) fcSetup(in *tensor.Tensor, opts RunOpts) (*tensor.Tensor, *LayerTrace) {
 	s := in.Shape()
 	per := s.C * s.H * s.W
 	if per != p.FC.In {
@@ -60,6 +148,16 @@ func (p *FCPlan) Run(in *tensor.Tensor, opts RunOpts) (*tensor.Tensor, *LayerTra
 	if opts.CollectWindows {
 		tr.Ops = make([]int32, tr.Windows)
 	}
+	return out, tr
+}
+
+// runFCReference is the retained serial per-neuron path — the original
+// Run loop, kept as the oracle the lane-batched Run is validated
+// against (TestFCStripEquivalence).
+func (p *FCPlan) runFCReference(in *tensor.Tensor, opts RunOpts) (*tensor.Tensor, *LayerTrace) {
+	out, tr := p.fcSetup(in, opts)
+	s := in.Shape()
+	per := p.FC.In
 	ind := in.Data()
 	outd := out.Data()
 	for n := 0; n < s.N; n++ {

@@ -2,6 +2,7 @@ package snapea
 
 import (
 	"testing"
+	"time"
 
 	"snapea/internal/metrics"
 )
@@ -13,22 +14,66 @@ import (
 // execution.
 func BenchmarkLayerPlanRunMetrics(b *testing.B) {
 	plan, in := invariancePlan(b)
-	for _, mode := range []string{"disabled", "enabled"} {
+	for _, mode := range []string{"disabled", "enabled", "enabled+windows"} {
 		b.Run(mode, func(b *testing.B) {
-			if mode == "enabled" {
+			opts := RunOpts{}
+			if mode != "disabled" {
 				metrics.Enable()
 				defer func() {
 					metrics.Disable()
 					metrics.Reset()
 				}()
 			}
+			if mode == "enabled+windows" {
+				// Traced runs batch the per-window op histogram through
+				// ObserveBatch; this sub-benchmark is the cost of that
+				// batching next to the engine's own MACs.
+				opts.CollectWindows = true
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, tr := plan.Run(in, RunOpts{}); tr.TotalOps == 0 {
+				if _, tr := plan.Run(in, opts); tr.TotalOps == 0 {
 					b.Fatal("no work executed")
 				}
 			}
 		})
+	}
+}
+
+// TestMetricsOverheadBounded is the enforced form of the benchmark
+// above: metrics-enabled traced execution must stay within a generous
+// constant factor of the disabled hot path. The bound (3×) is far above
+// the real cost (batched histogram publication is a few atomic adds per
+// layer run) but far below what any per-window atomic regression would
+// produce on this workload (tens of thousands of windows per run), so
+// the test is stable on noisy machines yet still fails the failure mode
+// it guards against.
+func TestMetricsOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	plan, in := invariancePlan(t)
+	timeOne := func(opts RunOpts) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for r := 0; r < 7; r++ {
+			start := time.Now()
+			plan.Run(in, opts)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	plan.Run(in, RunOpts{}) // warm scratch pools
+	disabled := timeOne(RunOpts{})
+	metrics.Enable()
+	defer func() {
+		metrics.Disable()
+		metrics.Reset()
+	}()
+	enabled := timeOne(RunOpts{CollectWindows: true})
+	if enabled > 3*disabled {
+		t.Fatalf("metrics-enabled traced run %v exceeds 3x the disabled run %v", enabled, disabled)
 	}
 }

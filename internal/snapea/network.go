@@ -223,6 +223,27 @@ func (net *Network) Forward(img *tensor.Tensor, opts RunOpts, trace *NetTrace) *
 	return net.Model.Graph.ForwardExec(img, nil, net.exec(opts, trace))
 }
 
+// ForwardChecked is Forward behind the boundary validation the hardened
+// pipeline needs: the input's shape and finiteness are verified ONCE
+// here, and every layer below runs the unchecked hot path. That split
+// is deliberate — a finite input through finite weights yields finite
+// post-ReLU activations, so per-layer re-scans (one full pass over
+// every intermediate tensor) would buy nothing but memory traffic. The
+// scan-count regression test holds this to exactly one FirstNonFinite
+// call per forward, whatever the network's depth. The batch dimension
+// may be any N ≥ 1; C, H, W must match the model's input shape.
+func (net *Network) ForwardChecked(img *tensor.Tensor, opts RunOpts, trace *NetTrace) (*tensor.Tensor, error) {
+	s := img.Shape()
+	want := net.Model.InputShape
+	if s.C != want.C || s.H != want.H || s.W != want.W {
+		return nil, fmt.Errorf("snapea: %s compiled for %v, got %v", net.Model.Name, want, s)
+	}
+	if i := FirstNonFinite(img.Data()); i >= 0 {
+		return nil, fmt.Errorf("snapea: %s: non-finite input at element %d (%v): early termination is undefined on non-finite partial sums; sanitize the input or use the dense nn path", net.Model.Name, i, img.Data()[i])
+	}
+	return net.Forward(img, opts, trace), nil
+}
+
 // Feature runs the network and returns the flattened feature-node output
 // (the classifier head's input), so accuracy under SnaPEA execution can
 // be measured with the trained head.

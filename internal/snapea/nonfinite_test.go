@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"snapea/internal/models"
 	"snapea/internal/nn"
 	"snapea/internal/tensor"
 )
@@ -91,4 +92,74 @@ func TestEarlyTerminationDivergesOnNonFinite(t *testing.T) {
 	if _, _, err := plan.RunChecked(in, RunOpts{}); err == nil {
 		t.Fatal("RunChecked must reject the input Run diverges on")
 	}
+}
+
+// TestForwardCheckedScanCount pins the boundary-validation contract:
+// one forward through the whole network costs exactly one
+// FirstNonFinite scan, however many layers the model has, and the
+// unchecked per-layer Run path costs zero. A regression here means
+// someone reintroduced per-layer validation into the hot path.
+func TestForwardCheckedScanCount(t *testing.T) {
+	m := buildTestModel(t)
+	net := CompileExact(m)
+	img := tensor.New(m.InputShape)
+	for i := range img.Data() {
+		img.Data()[i] = float32(i%17)/17 - 0.4
+	}
+
+	before := FiniteScans()
+	out, err := net.ForwardChecked(img, RunOpts{}, nil)
+	if err != nil {
+		t.Fatalf("ForwardChecked: %v", err)
+	}
+	if out == nil {
+		t.Fatal("no output")
+	}
+	if got := FiniteScans() - before; got != 1 {
+		t.Fatalf("ForwardChecked performed %d non-finite scans, want exactly 1", got)
+	}
+
+	before = FiniteScans()
+	net.Forward(img, RunOpts{}, nil)
+	if got := FiniteScans() - before; got != 0 {
+		t.Fatalf("unchecked Forward performed %d non-finite scans, want 0", got)
+	}
+}
+
+func TestForwardCheckedRejectsNonFinite(t *testing.T) {
+	m := buildTestModel(t)
+	net := CompileExact(m)
+	img := tensor.New(m.InputShape)
+	img.Data()[3] = float32(math.Inf(1))
+	if _, err := net.ForwardChecked(img, RunOpts{}, nil); err == nil {
+		t.Fatal("+Inf input accepted")
+	}
+	bad := tensor.New(tensor.Shape{N: 1, C: m.InputShape.C + 1, H: m.InputShape.H, W: m.InputShape.W})
+	if _, err := net.ForwardChecked(bad, RunOpts{}, nil); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// BenchmarkForwardCheckedScans reports the validation cost of the
+// boundary scan next to a whole forward pass — the scans/op metric is
+// the one the hoisting satellite exists to hold at 1.
+func BenchmarkForwardCheckedScans(b *testing.B) {
+	m, err := models.Build("tinynet", models.Options{Seed: 123})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := CompileExact(m)
+	img := tensor.New(m.InputShape)
+	for i := range img.Data() {
+		img.Data()[i] = float32(i%17)/17 - 0.4
+	}
+	start := FiniteScans()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.ForwardChecked(img, RunOpts{}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(FiniteScans()-start)/float64(b.N), "scans/op")
 }

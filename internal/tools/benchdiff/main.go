@@ -1,0 +1,116 @@
+// Command benchdiff compares a fresh benchjson record against a
+// checked-in baseline and fails when a gated benchmark regresses. It is
+// the perf-regression gate for the execution kernel: `make ci` reruns
+// BenchmarkLayerPlanRun, converts it with benchjson, and diffs the
+// result against the tracked BENCH_PR7.json.
+//
+//	go run ./internal/tools/benchdiff -baseline BENCH_PR7.json -current /tmp/gate.json \
+//	    -bench 'BenchmarkLayerPlanRun/' -max-regress 10
+//
+// Benchmarks are matched by name with the trailing -GOMAXPROCS suffix
+// stripped, so records from machines with different core counts still
+// line up. Duplicate entries (e.g. -count=N runs) collapse to their
+// minimum ns/op — the least-noisy estimator on a shared machine — on
+// both sides before comparing. Exit status: 0 clean, 1 regression over
+// the threshold, 2 usage or no overlapping benchmarks.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+)
+
+type result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type file struct {
+	Results []result `json:"results"`
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// load reads a benchjson document and collapses it to name → min ns/op.
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	mins := make(map[string]float64)
+	for _, r := range f.Results {
+		name := procSuffix.ReplaceAllString(r.Name, "")
+		if r.NsPerOp <= 0 {
+			continue
+		}
+		if cur, ok := mins[name]; !ok || r.NsPerOp < cur {
+			mins[name] = r.NsPerOp
+		}
+	}
+	return mins, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "checked-in benchjson baseline (required)")
+	current := flag.String("current", "", "freshly generated benchjson record (required)")
+	benchRe := flag.String("bench", ".", "regexp selecting which benchmarks gate")
+	maxRegress := flag.Float64("max-regress", 10, "max allowed ns/op regression, percent")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+	sel, err := regexp.Compile(*benchRe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: bad -bench regexp:", err)
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if sel.MatchString(name) {
+			if _, ok := cur[name]; ok {
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmarks matching %q present in both records\n", *benchRe)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range names {
+		b, c := base[name], cur[name]
+		delta := (c/b - 1) * 100
+		verdict := "ok"
+		if delta > *maxRegress {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-55s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", name, b, c, delta, verdict)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression over %.1f%% against %s\n", *maxRegress, *baseline)
+		os.Exit(1)
+	}
+}
