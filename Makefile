@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz-smoke bench bench-gate bench-smoke bench-serve invariance metrics-smoke serve-smoke chaos-smoke ci clean
+.PHONY: build test race vet vet-snapea fuzz-smoke bench bench-gate bench-smoke bench-serve invariance metrics-smoke serve-smoke chaos-smoke ci clean
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis: determinism, durability, and lifecycle
+# invariants go vet cannot see (map-iteration order into encoders,
+# wall-clock reachable from byte-identical artifacts, non-atomic
+# artifact writes, tensor-pool leaks, metric-domain mismatches).
+vet-snapea:
+	$(GO) run ./cmd/snapea-vet ./...
 
 test:
 	$(GO) test ./...
@@ -80,7 +87,7 @@ chaos-smoke:
 	GO=$(GO) sh scripts/chaos_smoke.sh
 
 # The tier-1+ gate: everything CI runs before a merge.
-ci: vet build race fuzz-smoke bench-smoke bench-gate invariance metrics-smoke serve-smoke chaos-smoke
+ci: vet vet-snapea build race fuzz-smoke bench-smoke bench-gate invariance metrics-smoke serve-smoke chaos-smoke
 
 clean:
 	$(GO) clean ./...

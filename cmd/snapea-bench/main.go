@@ -47,6 +47,9 @@ func main() {
 	workers := cli.WorkersFlag(nil)
 	obs := cli.ObsFlags(nil)
 	flag.Parse()
+	if err := cli.ApplyEnv(nil, cli.ObsEnv()); err != nil {
+		cli.Fatalf("snapea-bench", "%v", err)
+	}
 	workers.Apply()
 
 	obsStop, err := obs.Start("snapea-bench")

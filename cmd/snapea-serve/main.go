@@ -64,6 +64,9 @@ func main() {
 	workers := cli.WorkersFlag(nil)
 	obs := cli.ObsFlags(nil)
 	flag.Parse()
+	if err := cli.ApplyEnv(nil, cli.ServeEnv(), cli.BreakerEnv(), cli.ObsEnv()); err != nil {
+		cli.Fatalf("snapea-serve", "%v", err)
+	}
 	workers.Apply()
 
 	obsStop, err := obs.Start("snapea-serve")

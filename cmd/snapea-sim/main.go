@@ -36,6 +36,9 @@ func main() {
 	workers := cli.WorkersFlag(nil)
 	obs := cli.ObsFlags(nil)
 	flag.Parse()
+	if err := cli.ApplyEnv(nil, cli.ObsEnv()); err != nil {
+		cli.Fatalf("snapea-sim", "%v", err)
+	}
 	workers.Apply()
 
 	obsStop, err := obs.Start("snapea-sim")

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"snapea/internal/atomicfile"
 	"snapea/internal/calib"
 	"snapea/internal/cli"
 	"snapea/internal/dataset"
@@ -130,7 +131,7 @@ func main() {
 	if *out == "" {
 		fmt.Println(string(enc))
 	} else {
-		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		if err := atomicfile.WriteFile(*out, enc, 0o644); err != nil {
 			cli.Fatalf("snapea-tune", "%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "snapea-tune: wrote %s (%d predictive layers, loss %.3f)\n",

@@ -1,0 +1,62 @@
+// Command snapea-vet runs the repository's static invariant analyzers
+// (internal/tools/snapeavet) over the whole module: determinism
+// (detorder, nowallclock), durability (atomicwrite), pooling lifecycle
+// (poolbalance) and metric conventions (metricdomain). It prints one
+// line per finding and exits 1 when any invariant is violated, 2 on
+// load or usage errors — the same contract as go vet, so `make
+// vet-snapea` can sit next to `go vet` in the ci chain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snapea/internal/tools/snapeavet"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root (directory containing go.mod)")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: snapea-vet [-root dir] [-run name,...] [./...]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the snapea invariant analyzers over the whole module.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range snapeavet.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	// Accept "./..." for go-vet muscle memory; the checker always
+	// analyzes the whole module rooted at -root.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "snapea-vet: unsupported package pattern %q (the whole module is always analyzed)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	var names []string
+	if *run != "" {
+		names = strings.Split(*run, ",")
+	}
+	diags, err := snapeavet.Run(*root, names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapea-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "snapea-vet: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

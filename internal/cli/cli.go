@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"sync"
 	"syscall"
 	"time"
@@ -17,6 +18,92 @@ import (
 	"snapea/internal/faults"
 	"snapea/internal/parallel"
 )
+
+// ApplyEnv installs environment-variable defaults after Parse. Each map
+// pairs a flag name with its environment variable; for every pair where
+// the flag was NOT given on the command line and the variable is set
+// and non-empty, the value is applied through the flag's own parser.
+// Precedence is therefore command line > environment > built-in
+// default — the -workers env-clobber bug class (a flag's unset default
+// value silently overriding an environment setting because the two are
+// indistinguishable by value) cannot recur for any group wired through
+// here, since explicit-set detection uses flag.Visit, not the value.
+// A malformed environment value is an error naming the variable.
+func ApplyEnv(fs *flag.FlagSet, envs ...map[string]string) error {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	for _, env := range envs {
+		names := make([]string, 0, len(env))
+		for name := range env {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if set[name] {
+				continue
+			}
+			val, ok := os.LookupEnv(env[name])
+			if !ok || val == "" {
+				continue
+			}
+			if err := fs.Set(name, val); err != nil {
+				return fmt.Errorf("cli: %s=%q for -%s: %w", env[name], val, name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ObsEnv maps the observability flag group (ObsFlags) to its
+// environment defaults, so a deployment can turn on metrics or pprof
+// for every tool without editing each invocation.
+func ObsEnv() map[string]string {
+	return map[string]string{
+		"metrics":               "SNAPEA_METRICS",
+		"metrics-deterministic": "SNAPEA_METRICS_DETERMINISTIC",
+		"pprof":                 "SNAPEA_PPROF",
+		"trace":                 "SNAPEA_TRACE",
+	}
+}
+
+// ServeEnv maps snapea-serve's batching and lifecycle flags to their
+// environment defaults.
+func ServeEnv() map[string]string {
+	return map[string]string{
+		"addr":            "SNAPEA_ADDR",
+		"batch":           "SNAPEA_BATCH",
+		"batch-wait":      "SNAPEA_BATCH_WAIT",
+		"queue":           "SNAPEA_QUEUE",
+		"request-timeout": "SNAPEA_REQUEST_TIMEOUT",
+		"batch-deadline":  "SNAPEA_BATCH_DEADLINE",
+		"drain-timeout":   "SNAPEA_DRAIN_TIMEOUT",
+	}
+}
+
+// BreakerEnv maps snapea-serve's circuit-breaker flags to their
+// environment defaults.
+func BreakerEnv() map[string]string {
+	return map[string]string{
+		"breaker-failures": "SNAPEA_BREAKER_FAILURES",
+		"breaker-open":     "SNAPEA_BREAKER_OPEN",
+		"breaker-probes":   "SNAPEA_BREAKER_PROBES",
+	}
+}
+
+// LoadEnv maps snapea-load's traffic-shape flags to their environment
+// defaults.
+func LoadEnv() map[string]string {
+	return map[string]string{
+		"url":     "SNAPEA_LOAD_URL",
+		"n":       "SNAPEA_LOAD_N",
+		"c":       "SNAPEA_LOAD_C",
+		"rate":    "SNAPEA_LOAD_RATE",
+		"retries": "SNAPEA_LOAD_RETRIES",
+	}
+}
 
 // WorkersFlag registers the shared -workers flag on fs (the default
 // FlagSet when fs is nil). Call Apply after Parse to install the value

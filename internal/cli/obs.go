@@ -49,7 +49,11 @@ func (g *ObsFlagGroup) MetricsEnabled() bool { return g.metricsPath != "" }
 // the pprof HTTP server, and runtime tracing. It returns an idempotent
 // stop function that must run on every exit path (including before
 // os.Exit) — stop flushes the trace and writes the metrics snapshot.
-// Errors during Start leave nothing running.
+// Errors during Start leave nothing running. The os.Create below feeds
+// the runtime/trace stream, which must be written incrementally — it is
+// runtime instrumentation, never a deterministic artifact.
+//
+//snapea:runtime
 func (g *ObsFlagGroup) Start(tool string) (stop func(), err error) {
 	var (
 		ln        net.Listener

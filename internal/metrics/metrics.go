@@ -133,9 +133,13 @@ func (h *Histogram) Observe(v int64) {
 // non-empty bucket instead of three per observation — the difference
 // between a rounding error and a hot-path tax when a caller observes
 // millions of values per run (the engine's per-window op histogram).
-func (h *Histogram) ObserveBatch(counts []int64, sum int64) {
+//
+// A bucket-count mismatch records nothing and returns an error:
+// observability must degrade one metric, never kill the process that is
+// being observed.
+func (h *Histogram) ObserveBatch(counts []int64, sum int64) error {
 	if len(counts) != len(h.counts) {
-		panic(fmt.Sprintf("metrics: ObserveBatch with %d buckets, histogram has %d", len(counts), len(h.counts)))
+		return fmt.Errorf("metrics: ObserveBatch with %d buckets, histogram has %d", len(counts), len(h.counts))
 	}
 	var n int64
 	for i, c := range counts {
@@ -148,6 +152,7 @@ func (h *Histogram) ObserveBatch(counts []int64, sum int64) {
 		h.sum.Add(sum)
 		h.n.Add(n)
 	}
+	return nil
 }
 
 // spanRecord is one completed wall-clock span.
@@ -306,7 +311,11 @@ type Span struct {
 
 // StartSpan begins timing a named stage. End is idempotent and safe on
 // a nil span, so callers can unconditionally defer it. Spans record
-// only while the registry is enabled at Start time.
+// only while the registry is enabled at Start time. Span timings are
+// runtime observability — they land in the runtime snapshot section and
+// never feed a deterministic artifact.
+//
+//snapea:runtime
 func (r *Registry) StartSpan(name string) *Span {
 	if !Enabled() {
 		return nil
@@ -314,7 +323,10 @@ func (r *Registry) StartSpan(name string) *Span {
 	return &Span{r: r, name: name, start: time.Now()}
 }
 
-// End completes the span and records it in the registry.
+// End completes the span and records it in the registry. Like
+// StartSpan, the wall-clock read here feeds runtime observability only.
+//
+//snapea:runtime
 func (s *Span) End() {
 	if s == nil || !s.done.CompareAndSwap(false, true) {
 		return

@@ -244,7 +244,9 @@ func TestObserveBatchEquivalence(t *testing.T) {
 		counts[b]++
 		sum += v
 	}
-	h2.ObserveBatch(counts, sum)
+	if err := h2.ObserveBatch(counts, sum); err != nil {
+		t.Fatalf("well-shaped ObserveBatch: %v", err)
+	}
 
 	s1 := r1.Snapshot(false).Histograms[0]
 	s2 := r2.Snapshot(false).Histograms[0]
@@ -254,20 +256,32 @@ func TestObserveBatchEquivalence(t *testing.T) {
 	}
 
 	// An all-zero batch must be a no-op (no phantom sum/count).
-	h2.ObserveBatch(make([]int64, len(bounds)+1), 123)
+	if err := h2.ObserveBatch(make([]int64, len(bounds)+1), 123); err != nil {
+		t.Fatalf("all-zero ObserveBatch: %v", err)
+	}
 	s2 = r2.Snapshot(false).Histograms[0]
 	if s2.Sum != s1.Sum || s2.Count != s1.Count {
 		t.Fatal("empty ObserveBatch changed sum/count")
 	}
 }
 
-func TestObserveBatchBucketMismatchPanics(t *testing.T) {
+// TestObserveBatchBucketMismatchError is the degrade-don't-die
+// regression: a mismatched bucket count used to panic, killing the
+// process over an observability bug. It must instead return an error
+// and leave the histogram untouched.
+func TestObserveBatchBucketMismatchError(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("ops", nil, []int64{1, 2})
 	defer func() {
-		if recover() == nil {
-			t.Fatal("mismatched bucket count did not panic")
+		if p := recover(); p != nil {
+			t.Fatalf("mismatched bucket count panicked: %v", p)
 		}
 	}()
-	h.ObserveBatch([]int64{1, 2}, 3) // histogram has 3 buckets, batch has 2
+	if err := h.ObserveBatch([]int64{1, 2}, 3); err == nil { // histogram has 3 buckets, batch has 2
+		t.Fatal("mismatched bucket count returned nil error")
+	}
+	s := r.Snapshot(false).Histograms[0]
+	if s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("failed ObserveBatch mutated the histogram: count=%d sum=%d", s.Count, s.Sum)
+	}
 }

@@ -344,21 +344,27 @@ func (b *batcher) runBatch(batch []*request) {
 }
 
 // execute runs forward under the batch watchdog. On deadline the batch
-// is abandoned — its goroutine keeps running (and eventually returns
-// the batch tensor to the pool itself) but its result is discarded, the
-// hung batch's requests fail with ErrBatchDeadline, and the dispatcher
-// is free to serve the next batch.
+// is abandoned: the hung batch's requests fail with ErrBatchDeadline
+// and the dispatcher is free to serve the next batch, while the
+// abandoned goroutine keeps running with the batch tensor. Whoever
+// loses the abandoned CAS settles that tensor's fate — the watchdog
+// marks it leaked (serve.tensor_pool.leaks) the moment it abandons the
+// batch, and if the forward ever finishes it reclaims the tensor rather
+// than re-pooling it. A forward that never finishes leaves the leak
+// counted forever, which is exactly what an operator staring at a
+// rising serve.tensor_pool.leaked gauge needs to see.
 func (b *batcher) execute(net *snapea.Network, in *tensor.Tensor, opts snapea.RunOpts, trace *snapea.NetTrace, bf faults.BatchFault) (*tensor.Tensor, error) {
 	if b.cfg.deadline <= 0 {
-		return b.forward(net, in, opts, trace, bf)
+		return b.forward(net, in, opts, trace, bf, nil)
 	}
 	type result struct {
 		out *tensor.Tensor
 		err error
 	}
 	ch := make(chan result, 1) // buffered: an abandoned forward must not leak on send
+	abandoned := new(atomic.Bool)
 	go func() {
-		out, err := b.forward(net, in, opts, trace, bf)
+		out, err := b.forward(net, in, opts, trace, bf, abandoned)
 		ch <- result{out, err}
 	}()
 	timer := time.NewTimer(b.cfg.deadline)
@@ -367,6 +373,9 @@ func (b *batcher) execute(net *snapea.Network, in *tensor.Tensor, opts snapea.Ru
 	case r := <-ch:
 		return r.out, r.err
 	case <-timer.C:
+		if abandoned.CompareAndSwap(false, true) {
+			b.pool.noteLeak()
+		}
 		if metrics.Enabled() {
 			metrics.RC("serve.watchdog_timeouts", b.cfg.label).Add(1)
 		}
@@ -377,14 +386,20 @@ func (b *batcher) execute(net *snapea.Network, in *tensor.Tensor, opts snapea.Ru
 // forward runs the batch through the compiled network, converting an
 // engine panic (the hardened path for malformed engine state) into an
 // error so one poisoned batch cannot take the dispatcher down. It owns
-// the batch tensor: the tensor returns to the pool when forward
-// finishes, however it finishes, which keeps the watchdog's
-// abandoned-goroutine path from recycling a buffer that is still being
-// read. Injected delay and error faults apply here, under the watchdog,
-// where a real stuck or failing kernel would surface.
-func (b *batcher) forward(net *snapea.Network, in *tensor.Tensor, opts snapea.RunOpts, trace *snapea.NetTrace, bf faults.BatchFault) (out *tensor.Tensor, err error) {
+// the batch tensor: when forward finishes — however it finishes — the
+// tensor returns to the pool if the batch is still live, or is handed
+// to reclaim if the watchdog abandoned it in the meantime (abandoned is
+// nil when no watchdog is armed). The CAS keeps the abandoned-goroutine
+// path from recycling a buffer the pool already replaced. Injected
+// delay and error faults apply here, under the watchdog, where a real
+// stuck or failing kernel would surface.
+func (b *batcher) forward(net *snapea.Network, in *tensor.Tensor, opts snapea.RunOpts, trace *snapea.NetTrace, bf faults.BatchFault, abandoned *atomic.Bool) (out *tensor.Tensor, err error) {
 	defer func() {
-		b.pool.Put(in)
+		if abandoned == nil || abandoned.CompareAndSwap(false, true) {
+			b.pool.Put(in)
+		} else {
+			b.pool.reclaim(in)
+		}
 		if r := recover(); r != nil {
 			out, err = nil, fmt.Errorf("serve: inference failed: %v", r)
 		}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"snapea/internal/metrics"
 	"snapea/internal/tensor"
@@ -17,6 +18,16 @@ import (
 type tensorPool struct {
 	mu    sync.Mutex
 	pools map[tensor.Shape]*sync.Pool
+
+	// Leak accounting for tensors stranded inside abandoned batch
+	// goroutines (see batcher.execute): leaked is the current count,
+	// leaks and reclaims the lifetime totals. The pool re-allocates
+	// around a leak on the next Get, so a leak costs one tensor of
+	// memory until the wedged forward finishes (or forever, if it never
+	// does) — these counters make that cost observable.
+	leaked   atomic.Int64
+	leaks    atomic.Int64
+	reclaims atomic.Int64
 }
 
 func newTensorPool() *tensorPool {
@@ -43,6 +54,33 @@ func (p *tensorPool) Get(s tensor.Shape) *tensor.Tensor {
 		metrics.RC("serve.tensor_pool.misses", nil).Add(1)
 	}
 	return tensor.New(s)
+}
+
+// noteLeak records a tensor stranded by a watchdog-abandoned batch: its
+// goroutine still holds it, so it cannot be pooled or reused.
+func (p *tensorPool) noteLeak() {
+	p.leaks.Add(1)
+	cur := p.leaked.Add(1)
+	if metrics.Enabled() {
+		metrics.RC("serve.tensor_pool.leaks", nil).Add(1)
+		metrics.RG("serve.tensor_pool.leaked", nil).Set(cur)
+	}
+}
+
+// reclaim records a stranded tensor whose abandoned forward eventually
+// finished. The tensor is released to the garbage collector, not
+// re-pooled: the pool already allocated a replacement while the batch
+// was wedged, and re-admitting every late zombie would grow the pool
+// without bound under repeated watchdog abandons — the re-allocation
+// stays bounded at one live tensor per outstanding leak.
+func (p *tensorPool) reclaim(t *tensor.Tensor) {
+	_ = t
+	p.reclaims.Add(1)
+	cur := p.leaked.Add(-1)
+	if metrics.Enabled() {
+		metrics.RC("serve.tensor_pool.reclaimed", nil).Add(1)
+		metrics.RG("serve.tensor_pool.leaked", nil).Set(cur)
+	}
 }
 
 // Put returns a tensor to the pool for its shape.

@@ -220,7 +220,10 @@ func (s *Server) Preload(ctx context.Context) error {
 }
 
 // BeginDrain flips /readyz to 503 so load balancers stop routing here,
-// without yet refusing traffic. Call it before http.Server.Shutdown.
+// and stops admitting new predictions (503 + Retry-After). Requests
+// already admitted keep draining: the batchers stay open until Close.
+// Call it before http.Server.Shutdown, which waits for those in-flight
+// handlers.
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Close stops admission and drains every accepted request. Call after
@@ -327,6 +330,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	mode := r.URL.Query().Get("mode")
 	if mode == "" {
 		mode = ModeExact
+	}
+
+	// Drain gate: after BeginDrain, new work is refused up here rather
+	// than racing the batcher teardown below. A request that passed this
+	// check before the flag flipped is admitted work — http.Server.
+	// Shutdown waits for its handler, and the batchers are not closed
+	// until after Shutdown returns, so it still gets a real answer.
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfter(s.cfg.BatchWait))
+		s.fail(w, r, http.StatusServiceUnavailable, ErrShuttingDown)
+		return
 	}
 
 	ctx := r.Context()

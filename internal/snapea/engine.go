@@ -334,7 +334,11 @@ func (p *LayerPlan) recordMetrics(tr *LayerTrace) {
 			}
 			counts[b]++
 		}
-		metrics.H("engine.window_ops", lbl, bounds).ObserveBatch(counts, sum)
+		if err := metrics.H("engine.window_ops", lbl, bounds).ObserveBatch(counts, sum); err != nil {
+			// A histogram-shape bug costs this one metric, not the run;
+			// the drop is counted so the mismatch stays visible.
+			metrics.RC("metrics.observe_batch_drops", nil).Add(1)
+		}
 	}
 }
 

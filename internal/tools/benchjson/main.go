@@ -17,6 +17,8 @@ import (
 	"regexp"
 	"runtime"
 	"strconv"
+
+	"snapea/internal/atomicfile"
 )
 
 // Result is one parsed benchmark line.
@@ -84,7 +86,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := atomicfile.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,177 @@
+package snapeavet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetOrder flags range statements over maps, in deterministic packages,
+// whose bodies feed order-sensitive sinks: writers (io.Writer methods,
+// fmt.Fprint*), encoders (Encode/Marshal), checksums (hash Sum/Write),
+// or slice appends. Map iteration order is randomized per run, so any
+// such loop leaks schedule entropy straight into serialized output —
+// the exact bug class the worker-invariance and golden-snapshot tests
+// exist to catch after the fact.
+//
+// The canonical safe shape is exempt: collecting keys with append and
+// sorting the collected slice later in the same function
+// (sort.Strings/sort.Slice/slices.Sort...). Loops that only do
+// commutative work (map writes, integer accumulation) are not flagged,
+// and //snapea:runtime on the enclosing function opts out entirely.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "no map iteration may feed serialized output in deterministic packages unless keys are sorted first",
+	Run:  runDetOrder,
+}
+
+// sinkMethodNames are selector names whose call inside a map-range body
+// serializes data in observation order.
+var sinkMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Marshal": true, "MarshalIndent": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Sum": true, "Sum32": true, "Sum64": true,
+}
+
+// sortCallNames recognize the sort applied to a collected key slice.
+var sortCallNames = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true,
+	"Sort": true, "SortFunc": true, "SortStableFunc": true,
+}
+
+func runDetOrder(p *Pass) {
+	for _, pkg := range p.Pkgs {
+		if !p.Cfg.DeterministicPkgs[pkg.Path] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !isMapType(pkg.Info.TypeOf(rs.X)) {
+					return true
+				}
+				if funcRuntimeExempt(file, rs.Pos()) {
+					return true
+				}
+				checkMapRange(p, pkg, file, rs)
+				return true
+			})
+		}
+	}
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(p *Pass, pkg *Package, file *ast.File, rs *ast.RangeStmt) {
+	fd := enclosingFunc(file, rs.Pos())
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if _, isBuiltin := pkg.Info.Uses[fun].(*types.Builtin); fun.Name == "append" && isBuiltin {
+				// Builtin append. Only accumulator appends are
+				// order-sensitive: a named slice (ks, f.Predictive) grows
+				// across iterations in observation order. An append to a
+				// fresh slice (`append([]T(nil), v...)`, the copy idiom)
+				// builds an independent value per iteration, and sorting
+				// the accumulator after the loop (the sortedKeys idiom)
+				// erases the order again — both are exempt.
+				target := appendTarget(call)
+				if target == "" || sortedAfter(pkg, fd, rs, target) {
+					return true
+				}
+				p.Reportf("detorder", call.Pos(),
+					"append inside range over map feeds %q in iteration order; collect keys and sort them first (the sortedKeys idiom), or annotate the function %s",
+					target, RuntimeDirective)
+			}
+		case *ast.SelectorExpr:
+			if sinkMethodNames[fun.Sel.Name] {
+				p.Reportf("detorder", call.Pos(),
+					"%s inside range over map serializes in nondeterministic iteration order; iterate sorted keys instead, or annotate the function %s",
+					fun.Sel.Name, RuntimeDirective)
+			}
+		}
+		return true
+	})
+}
+
+// appendTarget returns the accumulator the append grows — the rendered
+// path of its first argument when that is an identifier or selector
+// chain (`ks`, `f.Predictive`) — or "" for fresh-slice appends
+// (conversions, literals, index expressions).
+func appendTarget(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	return exprPath(call.Args[0])
+}
+
+// exprPath renders an identifier or dotted selector chain, or "".
+func exprPath(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := exprPath(x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+	}
+	return ""
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function sorts the named slice (sort.Strings(ks), sort.Slice(ks,...),
+// slices.Sort(ks), ...).
+func sortedAfter(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt, target string) bool {
+	if fd == nil || fd.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !sortCallNames[sel.Sel.Name] || len(call.Args) == 0 {
+			return true
+		}
+		// Only the sort and slices packages count: Strings on a
+		// strings.Builder must not discharge the obligation.
+		if pkgID, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if pn, ok := pkg.Info.Uses[pkgID].(*types.PkgName); ok {
+				path := pn.Imported().Path()
+				if path != "sort" && path != "slices" {
+					return true
+				}
+			} else {
+				return true
+			}
+		} else {
+			return true
+		}
+		if exprPath(call.Args[0]) == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,193 @@
+package snapeavet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked module package, the unit the
+// analyzers inspect. Test files are excluded: the invariants guard
+// production artifacts, and keeping external test packages out of the
+// type-check keeps the loader a plain types.Config.Check.
+type Package struct {
+	Path  string // import path, e.g. snapea/internal/serve
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader loads module packages from source. Standard-library imports
+// are resolved with the stdlib source importer (importer.ForCompiler
+// "source"), so the whole pipeline is go/parser + go/types with zero
+// external dependencies — the same constraint the rest of the module
+// lives under.
+type Loader struct {
+	Root    string // module root (directory holding go.mod)
+	ModPath string // module path from go.mod
+	Fset    *token.FileSet
+
+	std  types.Importer
+	pkgs map[string]*Package
+	// loading guards against import cycles, which would otherwise
+	// recurse forever; Go forbids them, so hitting one is a loader error.
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		ModPath: modPath,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// modulePath reads the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("snapeavet: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("snapeavet: no module directive in %s", gomod)
+}
+
+// LoadAll loads every package under the module root (skipping testdata,
+// hidden and underscore-prefixed directories), sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("snapeavet: walk %s: %w", l.Root, err)
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ipath := l.ModPath
+		if rel != "." {
+			ipath = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.LoadDir(ipath, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if isSourceFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path. Results are cached per import path.
+func (l *Loader) LoadDir(ipath, dir string) (*Package, error) {
+	if p, ok := l.pkgs[ipath]; ok {
+		return p, nil
+	}
+	if l.loading[ipath] {
+		return nil, fmt.Errorf("snapeavet: import cycle through %s", ipath)
+	}
+	l.loading[ipath] = true
+	defer delete(l.loading, ipath)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapeavet: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("snapeavet: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(ipath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("snapeavet: type-check %s: %w", ipath, err)
+	}
+	p := &Package{Path: ipath, Dir: dir, Files: files, Pkg: tpkg, Info: info}
+	l.pkgs[ipath] = p
+	return p, nil
+}
+
+// Import implements types.Importer: module-internal paths load from
+// source under the module root; everything else goes to the stdlib
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		p, err := l.LoadDir(path, filepath.Join(l.Root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}

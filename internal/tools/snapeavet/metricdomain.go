@@ -1,0 +1,97 @@
+package snapeavet
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// MetricDomain enforces the metric-name conventions the runtime
+// validator (internal/tools/metricscheck) and the snapshot split rest
+// on: every metric registered through internal/metrics must carry a
+// known name prefix, and the prefix dictates which snapshot section the
+// registration may target. serve.* metrics describe batch composition
+// and arrival timing — inherently schedule-dependent — so they must use
+// the runtime constructors (RC/RG/RH, Runtime*); engine.*/sim.*/opt.*
+// metrics are per-unit integer sums merged after the deterministic
+// worker joins, so they must use the deterministic constructors (C/G/H,
+// Counter/Gauge/Histogram) or the worker-invariance guarantee silently
+// shrinks. A metric name with no known prefix is itself a diagnostic:
+// the conventions table (snapeavet.DefaultConfig, mirrored in
+// DESIGN.md) is the registry of record.
+var MetricDomain = &Analyzer{
+	Name: "metricdomain",
+	Doc:  "metric name prefixes and deterministic-vs-runtime registration must match conventions",
+	Run:  runMetricDomain,
+}
+
+// metricCtors maps the metrics package's constructor names to the
+// snapshot section they register into.
+var metricCtors = map[string]string{
+	"C": "deterministic", "G": "deterministic", "H": "deterministic",
+	"Counter": "deterministic", "Gauge": "deterministic", "Histogram": "deterministic",
+	"RC": "runtime", "RG": "runtime", "RH": "runtime",
+	"RuntimeCounter": "runtime", "RuntimeGauge": "runtime", "RuntimeHistogram": "runtime",
+}
+
+func runMetricDomain(p *Pass) {
+	for _, pkg := range p.Pkgs {
+		if pkg.Path == p.Cfg.MetricsPkg {
+			// The metrics package's own internals register nothing.
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(pkg.Info, call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != p.Cfg.MetricsPkg {
+					return true
+				}
+				section, ok := metricCtors[callee.Name()]
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				name, ok := stringLiteral(pkg, call.Args[0])
+				if !ok {
+					// Dynamic names cannot be checked statically; the
+					// runtime validator still covers them.
+					return true
+				}
+				domain, prefix := metricDomainOf(p.Cfg.MetricPrefixes, name)
+				if domain == "" {
+					p.Reportf("metricdomain", call.Pos(),
+						"metric %q has no known name prefix; add its prefix to the snapeavet conventions (and DESIGN.md) or rename it", name)
+					return true
+				}
+				if domain != section {
+					p.Reportf("metricdomain", call.Pos(),
+						"metric %q (prefix %q) belongs in the %s snapshot section but is registered via metrics.%s (%s section)",
+						name, prefix, domain, callee.Name(), section)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// stringLiteral evaluates e as a compile-time string constant.
+func stringLiteral(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// metricDomainOf finds the longest configured prefix matching name.
+func metricDomainOf(prefixes map[string]string, name string) (domain, prefix string) {
+	for pfx, dom := range prefixes {
+		if strings.HasPrefix(name, pfx) && len(pfx) > len(prefix) {
+			domain, prefix = dom, pfx
+		}
+	}
+	return domain, prefix
+}

@@ -1,0 +1,409 @@
+package snapeavet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolBalance verifies pooled-tensor discipline: every tensorPool.Get
+// must be matched, on every exit path of the function that called it,
+// by a Put/reclaim or an explicit ownership hand-off (the tensor is
+// returned, passed to another function, stored, or released by a
+// deferred closure — defers cover panic exits too). A Get whose tensor
+// can reach a return statement unreleased is a slow leak under load:
+// the pool re-allocates a replacement per lost tensor and the GC keeps
+// the zombie alive as long as anything still references it. The
+// watchdog-abandon and panic-backstop paths in the serving batcher are
+// exactly the exits this class of bug hides on.
+//
+// The analysis is branch-sensitive over the AST (if/switch/select arms
+// are walked separately and an obligation survives a join if any
+// falling-through arm leaves it open) and deliberately conservative
+// about ownership: passing the tensor to any call, returning it, or
+// storing it discharges the obligation — the analyzer checks balance,
+// not lifetime.
+var PoolBalance = &Analyzer{
+	Name: "poolbalance",
+	Doc:  "every tensorPool.Get must reach a Put or ownership hand-off on every exit path",
+	Run:  runPoolBalance,
+}
+
+// poolTypeName is the receiver type whose Get/Put methods the analyzer
+// tracks.
+const poolTypeName = "tensorPool"
+
+func runPoolBalance(p *Pass) {
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || hasDirective(fd.Doc, RuntimeDirective) {
+					continue
+				}
+				a := &poolAnalysis{pass: p, pkg: pkg}
+				a.deferredReleases(fd.Body)
+				open := make(map[types.Object]token.Pos)
+				terminated := a.walkStmts(fd.Body.List, open)
+				if !terminated {
+					a.reportOpen(open, fd.Body.End())
+				}
+			}
+		}
+	}
+}
+
+type poolAnalysis struct {
+	pass *Pass
+	pkg  *Package
+	// deferred holds objects released inside any defer in the function:
+	// a deferred Put covers every exit path including panics, so
+	// obligations on these objects never open.
+	deferred map[types.Object]bool
+	// reported dedupes findings per Get site.
+	reported map[token.Pos]bool
+}
+
+// isPoolGet reports whether call is tensorPool.Get.
+func (a *poolAnalysis) isPoolGet(call *ast.CallExpr) bool {
+	callee := calleeOf(a.pkg.Info, call)
+	return callee != nil && callee.Name() == "Get" && recvTypeName(callee) == poolTypeName
+}
+
+// deferredReleases pre-scans the body for defer statements and records
+// every object passed as a call argument inside them.
+func (a *poolAnalysis) deferredReleases(body *ast.BlockStmt) {
+	a.deferred = make(map[types.Object]bool)
+	a.reported = make(map[token.Pos]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ds.Call, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if obj := a.pkg.Info.Uses[id]; obj != nil {
+						a.deferred[obj] = true
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// walkStmts walks a statement list, tracking open obligations, and
+// reports any obligation still open at a return. It returns true when
+// the list cannot fall through (every path ends in return or panic).
+func (a *poolAnalysis) walkStmts(list []ast.Stmt, open map[types.Object]token.Pos) bool {
+	for _, stmt := range list {
+		if a.walkStmt(stmt, open) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *poolAnalysis) walkStmt(stmt ast.Stmt, open map[types.Object]token.Pos) (terminated bool) {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		a.scanExprs(s.Results, open)
+		a.reportOpen(open, s.Pos())
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if a.isPoolGet(call) {
+				a.report(call.Pos(), s.Pos())
+				return false
+			}
+			if isPanicCall(a.pkg, call) {
+				a.scanExprs([]ast.Expr{s.X}, open)
+				// A panic exits through the deferred handlers; deferred
+				// releases were already credited, and reporting here
+				// would double-count the explicit return paths.
+				return true
+			}
+		}
+		a.scanExprs([]ast.Expr{s.X}, open)
+	case *ast.AssignStmt:
+		a.handleAssign(s, open)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, v := range vs.Values {
+					if call, ok := ast.Unparen(v).(*ast.CallExpr); ok && a.isPoolGet(call) && i < len(vs.Names) {
+						a.openObligation(vs.Names[i], call, open)
+					} else {
+						a.scanExprs([]ast.Expr{v}, open)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Pre-scanned for releases; argument/capture uses also hand off.
+		var call *ast.CallExpr
+		if d, ok := s.(*ast.DeferStmt); ok {
+			call = d.Call
+		} else {
+			call = s.(*ast.GoStmt).Call
+		}
+		a.scanExprs([]ast.Expr{call}, open)
+	case *ast.SendStmt:
+		a.scanExprs([]ast.Expr{s.Value}, open)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, open)
+		}
+		a.scanExprs([]ast.Expr{s.Cond}, open)
+		thenOpen := cloneObligations(open)
+		thenTerm := a.walkStmts(s.Body.List, thenOpen)
+		elseOpen := cloneObligations(open)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = a.walkStmt(s.Else, elseOpen)
+		}
+		mergeBranches(open, []branch{{thenOpen, thenTerm}, {elseOpen, elseTerm}})
+		return thenTerm && elseTerm
+	case *ast.BlockStmt:
+		return a.walkStmts(s.List, open)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return a.walkBranches(s, open)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, open)
+		}
+		// Loop bodies run zero or more times: walk with the same state so
+		// discharges inside count, but never treat the loop as
+		// terminating.
+		a.walkStmts(s.Body.List, open)
+	case *ast.RangeStmt:
+		a.scanExprs([]ast.Expr{s.X}, open)
+		a.walkStmts(s.Body.List, open)
+	case *ast.LabeledStmt:
+		return a.walkStmt(s.Stmt, open)
+	}
+	return false
+}
+
+func cloneObligations(open map[types.Object]token.Pos) map[types.Object]token.Pos {
+	c := make(map[types.Object]token.Pos, len(open))
+	for k, v := range open {
+		c[k] = v
+	}
+	return c
+}
+
+// branch is one arm of a join point.
+type branch struct {
+	open       map[types.Object]token.Pos
+	terminated bool
+}
+
+// mergeBranches replaces open with the union of every falling-through
+// arm's obligations: a tensor leaks if any path out of the join still
+// holds it.
+func mergeBranches(open map[types.Object]token.Pos, branches []branch) {
+	for k := range open {
+		delete(open, k)
+	}
+	for _, b := range branches {
+		if b.terminated {
+			continue
+		}
+		for k, v := range b.open {
+			if _, ok := open[k]; !ok {
+				open[k] = v
+			}
+		}
+	}
+}
+
+// walkBranches handles switch/type-switch/select joins.
+func (a *poolAnalysis) walkBranches(stmt ast.Stmt, open map[types.Object]token.Pos) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, open)
+		}
+		if s.Tag != nil {
+			a.scanExprs([]ast.Expr{s.Tag}, open)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, open)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+		hasDefault = true // select blocks until one clause runs
+	}
+	var branches []branch
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			a.scanExprs(cc.List, open)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				a.walkStmt(cc.Comm, open)
+			}
+			stmts = cc.Body
+		}
+		bOpen := cloneObligations(open)
+		bTerm := a.walkStmts(stmts, bOpen)
+		branches = append(branches, branch{bOpen, bTerm})
+	}
+	if !hasDefault {
+		// No default: the no-match path falls through with the incoming
+		// state.
+		branches = append(branches, branch{cloneObligations(open), false})
+	}
+	allTerm := len(branches) > 0
+	for _, b := range branches {
+		if !b.terminated {
+			allTerm = false
+		}
+	}
+	mergeBranches(open, branches)
+	return allTerm
+}
+
+// handleAssign opens obligations for Get results and discharges
+// obligations whose tensor is stored or copied elsewhere.
+func (a *poolAnalysis) handleAssign(s *ast.AssignStmt, open map[types.Object]token.Pos) {
+	for i, rhs := range s.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && a.isPoolGet(call) {
+			if i < len(s.Lhs) {
+				if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+					a.openObligation(id, call, open)
+					continue
+				}
+			}
+			a.report(call.Pos(), s.Pos())
+			continue
+		}
+		a.scanExprs([]ast.Expr{rhs}, open)
+	}
+}
+
+// openObligation records a new Get obligation unless a deferred release
+// already covers the variable.
+func (a *poolAnalysis) openObligation(id *ast.Ident, call *ast.CallExpr, open map[types.Object]token.Pos) {
+	obj := a.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = a.pkg.Info.Uses[id]
+	}
+	if obj == nil || a.deferred[obj] {
+		return
+	}
+	open[obj] = call.Pos()
+}
+
+// scanExprs discharges obligations for tensors handed off inside the
+// given expressions: passed as a call argument (Put included), captured
+// by a closure that passes them on, address-taken, stored in a
+// composite literal, or otherwise used as a bare value in a position
+// that transfers ownership.
+func (a *poolAnalysis) scanExprs(exprs []ast.Expr, open map[types.Object]token.Pos) {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		// A bare obligated identifier in a hand-off position (return
+		// result, assignment RHS, channel send) transfers ownership.
+		a.dischargeIdent(e, open)
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				for _, arg := range x.Args {
+					a.dischargeIdent(arg, open)
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					a.dischargeIdent(x.X, open)
+				}
+			case *ast.CompositeLit:
+				for _, el := range x.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						a.dischargeIdent(kv.Value, open)
+					} else {
+						a.dischargeIdent(el, open)
+					}
+				}
+			case *ast.SendStmt:
+				// Statement nodes appear here only inside closures
+				// (FuncLit bodies); a captured tensor sent, returned or
+				// reassigned by the closure has been handed off.
+				a.dischargeIdent(x.Value, open)
+			case *ast.ReturnStmt:
+				for _, r := range x.Results {
+					a.dischargeIdent(r, open)
+				}
+			case *ast.AssignStmt:
+				for _, r := range x.Rhs {
+					a.dischargeIdent(r, open)
+				}
+			case *ast.Ident:
+				// Bare identifier uses inside closures count as hand-offs
+				// only via the cases above; receiver/selector uses (t.Data())
+				// keep the obligation open, which is the point.
+			}
+			return true
+		})
+	}
+}
+
+func (a *poolAnalysis) dischargeIdent(e ast.Expr, open map[types.Object]token.Pos) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := a.pkg.Info.Uses[id]; obj != nil {
+		delete(open, obj)
+	}
+}
+
+// reportOpen reports every obligation still open at an exit.
+func (a *poolAnalysis) reportOpen(open map[types.Object]token.Pos, exit token.Pos) {
+	for _, pos := range open {
+		a.report(pos, exit)
+	}
+}
+
+func (a *poolAnalysis) report(getPos, exitPos token.Pos) {
+	if a.reported[getPos] {
+		return
+	}
+	a.reported[getPos] = true
+	exit := a.pass.Fset.Position(exitPos)
+	a.pass.Reportf("poolbalance", getPos,
+		"tensorPool.Get result can reach the exit at line %d without a Put or ownership hand-off; pooled tensors must be released on every path (a deferred Put also covers panic exits)",
+		exit.Line)
+}
+
+// isPanicCall reports whether call is the builtin panic.
+func isPanicCall(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

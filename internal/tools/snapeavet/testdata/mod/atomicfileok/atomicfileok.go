@@ -1,0 +1,9 @@
+// Package atomicfileok stands in for internal/atomicfile in fixtures:
+// the sanctioned writer itself is exempt from the atomicwrite analyzer.
+package atomicfileok
+
+import "os"
+
+func WriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,20 @@
+// Package atomicwrite seeds violations for the atomicwrite analyzer.
+package atomicwrite
+
+import "os"
+
+func saveBench(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile bypasses internal/atomicfile"
+}
+
+func createCheckpoint(path string) (*os.File, error) {
+	return os.Create(path) // want "os.Create bypasses internal/atomicfile"
+}
+
+// openTrace streams runtime trace data; staged-and-renamed writes are
+// impossible for it, so the directive is the sanctioned opt-out.
+//
+//snapea:runtime
+func openTrace(path string) (*os.File, error) {
+	return os.Create(path)
+}

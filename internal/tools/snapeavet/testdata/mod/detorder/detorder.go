@@ -1,0 +1,51 @@
+// Package detorder seeds violations for the detorder analyzer. The
+// "// want" comments are matched against diagnostics by the fixture
+// harness; unannotated code must stay clean.
+package detorder
+
+import (
+	"sort"
+	"strings"
+)
+
+func leakOrder(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want "nondeterministic iteration order"
+	}
+}
+
+func appendUnsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want "sort them first"
+	}
+	return ks
+}
+
+// sortedKeys is the sanctioned idiom: collect, then sort.
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// sum does only commutative work, which is order-insensitive.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// runtimeDump is runtime-side debug output, exempt by directive.
+//
+//snapea:runtime
+func runtimeDump(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k)
+	}
+}

@@ -1,0 +1,12 @@
+// Package metricdomain seeds violations for the metricdomain analyzer.
+package metricdomain
+
+import "fixture/metrics"
+
+var (
+	engineRuns  = metrics.C("engine.runs")
+	serveReqs   = metrics.RC("serve.requests")
+	wrongOne    = metrics.C("serve.queue_depth") // want "belongs in the runtime snapshot section"
+	wrongTwo    = metrics.RC("engine.total_ops") // want "belongs in the deterministic snapshot section"
+	unknownName = metrics.C("bogus.thing")       // want "no known name prefix"
+)

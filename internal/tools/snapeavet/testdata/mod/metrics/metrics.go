@@ -1,0 +1,9 @@
+// Package metrics mirrors the constructor surface of internal/metrics
+// for the metricdomain fixtures: C registers into the deterministic
+// snapshot section, RC into the runtime section.
+package metrics
+
+type Counter struct{}
+
+func C(name string) *Counter  { return &Counter{} }
+func RC(name string) *Counter { return &Counter{} }

@@ -1,0 +1,76 @@
+// Package poolbalance seeds violations for the poolbalance analyzer:
+// the type name tensorPool is what the analyzer keys on, so the fixture
+// defines a minimal lookalike with the real Get/Put shape.
+package poolbalance
+
+import "errors"
+
+type tensor struct{ data []float32 }
+
+type tensorPool struct{}
+
+func (p *tensorPool) Get(n int) *tensor { return &tensor{data: make([]float32, n)} }
+func (p *tensorPool) Put(t *tensor)     { _ = t }
+
+var errInjected = errors.New("injected")
+
+func leakOnError(p *tensorPool, fail bool) error {
+	t := p.Get(8) // want "without a Put or ownership hand-off"
+	if fail {
+		return errInjected // leak: the early return skips the Put below
+	}
+	p.Put(t)
+	return nil
+}
+
+func discard(p *tensorPool) {
+	p.Get(4) // want "without a Put or ownership hand-off"
+}
+
+func leakOnSomeBranch(p *tensorPool, n int) {
+	t := p.Get(2) // want "without a Put or ownership hand-off"
+	switch n {
+	case 0:
+		p.Put(t)
+	}
+}
+
+func balanced(p *tensorPool, fail bool) error {
+	t := p.Get(8)
+	if fail {
+		p.Put(t)
+		return errInjected
+	}
+	p.Put(t)
+	return nil
+}
+
+// deferredPut covers every exit, panics included.
+func deferredPut(p *tensorPool) int {
+	t := p.Get(8)
+	defer p.Put(t)
+	return len(t.data)
+}
+
+// handoff transfers ownership to the caller.
+func handoff(p *tensorPool) *tensor {
+	t := p.Get(8)
+	return t
+}
+
+// asyncHandoff transfers ownership to the goroutine, which sends the
+// tensor onward — the shape of the batcher's watchdog path.
+func asyncHandoff(p *tensorPool, ch chan *tensor) {
+	t := p.Get(8)
+	go func() {
+		ch <- t
+	}()
+}
+
+// callHandoff passes the tensor to another function, which owns it now.
+func callHandoff(p *tensorPool) {
+	t := p.Get(8)
+	consume(t)
+}
+
+func consume(t *tensor) { _ = t }
