@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vet-snapea fuzz-smoke bench bench-gate bench-smoke bench-serve invariance metrics-smoke serve-smoke chaos-smoke ci clean
+.PHONY: build test race vet vet-snapea fuzz-smoke bench bench-gate bench-smoke bench-serve invariance metrics-smoke serve-smoke chaos-smoke cluster-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -86,8 +86,15 @@ bench-serve:
 chaos-smoke:
 	GO=$(GO) sh scripts/chaos_smoke.sh
 
+# Cluster smoke: 3 snapea-serve replicas behind snapea-gateway, measure
+# the gateway's p50 overhead against a direct run (<1ms), SIGTERM one
+# replica mid-run with zero failed accepted requests, and validate the
+# gateway.* metrics including the enforced hedge budget.
+cluster-smoke:
+	GO=$(GO) sh scripts/cluster_smoke.sh
+
 # The tier-1+ gate: everything CI runs before a merge.
-ci: vet vet-snapea build race fuzz-smoke bench-smoke bench-gate invariance metrics-smoke serve-smoke chaos-smoke
+ci: vet vet-snapea build race fuzz-smoke bench-smoke bench-gate invariance metrics-smoke serve-smoke chaos-smoke cluster-smoke
 
 clean:
 	$(GO) clean ./...

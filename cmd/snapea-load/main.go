@@ -63,6 +63,25 @@ type Summary struct {
 	// Retries counts closed-loop re-sends after a 429/503 answer; the
 	// final attempt's status is what StatusCounts records.
 	Retries int `json:"retries,omitempty"`
+	// RetryStatusCounts breaks Retries down by the status that triggered
+	// each re-send. Behind a gateway this is what separates replica
+	// admission pushback (429) from fleet-level unavailability (503) —
+	// StatusCounts alone can't, since it only sees final attempts.
+	RetryStatusCounts map[string]int `json:"retry_status_counts,omitempty"`
+}
+
+// retryStats accumulates the closed-loop retry breakdown across workers.
+type retryStats struct {
+	mu       sync.Mutex
+	total    int
+	byStatus map[string]int
+}
+
+func (rs *retryStats) record(status int) {
+	rs.mu.Lock()
+	rs.total++
+	rs.byStatus[strconv.Itoa(status)]++
+	rs.mu.Unlock()
 }
 
 // outcome is one request's measurement (of its final attempt, when the
@@ -148,14 +167,14 @@ func main() {
 	}
 
 	outcomes := make([]outcome, *n)
-	var retried atomic.Int64
+	retried := &retryStats{byStatus: make(map[string]int)}
 	start := time.Now()
 	if *rate > 0 {
 		// Open loop never retries: a retry is an extra arrival, and the
 		// whole point of -rate is a fixed arrival schedule.
 		runOpenLoop(ctx, client, target, contentType, bodies, outcomes, *rate)
 	} else {
-		runClosedLoop(ctx, client, target, contentType, bodies, outcomes, *c, *retries, *seed, &retried)
+		runClosedLoop(ctx, client, target, contentType, bodies, outcomes, *c, *retries, *seed, retried)
 	}
 	elapsed := time.Since(start)
 
@@ -165,7 +184,10 @@ func main() {
 	}
 
 	sum := summarize(outcomes, allowed)
-	sum.Retries = int(retried.Load())
+	sum.Retries = retried.total
+	if len(retried.byStatus) > 0 {
+		sum.RetryStatusCounts = retried.byStatus
+	}
 	sum.URL = *url
 	sum.Model = *model
 	sum.Mode = *mode
@@ -288,7 +310,7 @@ func fire(ctx context.Context, client *http.Client, target, contentType string, 
 // retries times with jittered exponential backoff, honoring the
 // server's Retry-After hint when present — the well-behaved-client
 // protocol the server's admission control assumes.
-func runClosedLoop(ctx context.Context, client *http.Client, target, contentType string, bodies [][]byte, outcomes []outcome, c, retries int, seed uint64, retried *atomic.Int64) {
+func runClosedLoop(ctx context.Context, client *http.Client, target, contentType string, bodies [][]byte, outcomes []outcome, c, retries int, seed uint64, retried *retryStats) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < c; w++ {
@@ -313,7 +335,7 @@ func runClosedLoop(ctx context.Context, client *http.Client, target, contentType
 // exponential schedule from 50ms; either way the actual sleep is
 // full-jittered into [base/2, base] so a fleet of backed-off clients
 // does not return in lockstep.
-func fireRetry(ctx context.Context, client *http.Client, target, contentType string, body []byte, retries int, rng *rand.Rand, retried *atomic.Int64) outcome {
+func fireRetry(ctx context.Context, client *http.Client, target, contentType string, body []byte, retries int, rng *rand.Rand, retried *retryStats) outcome {
 	backoff := 50 * time.Millisecond
 	for attempt := 0; ; attempt++ {
 		o := fire(ctx, client, target, contentType, body)
@@ -326,7 +348,7 @@ func fireRetry(ctx context.Context, client *http.Client, target, contentType str
 			wait = o.retryAfter
 		}
 		wait = wait/2 + time.Duration(rng.Int63n(int64(wait/2)+1))
-		retried.Add(1)
+		retried.record(o.status)
 		select {
 		case <-ctx.Done():
 			return o
@@ -422,6 +444,14 @@ func render(sum Summary) {
 	}
 	if sum.Retries > 0 {
 		t.Add("retries", strconv.Itoa(sum.Retries))
+		var rcodes []string
+		for code := range sum.RetryStatusCounts {
+			rcodes = append(rcodes, code)
+		}
+		sort.Strings(rcodes)
+		for _, code := range rcodes {
+			t.Add("  retried on "+code, strconv.Itoa(sum.RetryStatusCounts[code]))
+		}
 	}
 	if sum.TransportErrors > 0 {
 		t.Add("transport errors", strconv.Itoa(sum.TransportErrors))

@@ -91,14 +91,17 @@ func (c BreakerConfig) normalize() BreakerConfig {
 // keeps one per (model, mode) and records outcomes at *batch*
 // granularity: one batch execution is one success or one failure, no
 // matter how many requests rode in it, so a single poisoned batch of
-// 64 requests costs one failure count, not 64.
+// 64 requests costs one failure count, not 64. The cluster gateway
+// keeps one per replica and records per-proxied-request outcomes.
 type Breaker struct {
 	cfg BreakerConfig
 
 	mu       sync.Mutex
 	state    State
-	fails    int // consecutive failures while closed
-	probes   int // consecutive successes while half-open
+	fails    int  // consecutive failures while closed
+	probes   int  // consecutive successes while half-open
+	probing  bool      // a half-open probe is in flight (admitted, not yet recorded)
+	probeAt  time.Time // when the in-flight probe was admitted
 	openedAt time.Time
 }
 
@@ -111,19 +114,38 @@ func NewBreaker(cfg BreakerConfig) *Breaker {
 // ErrOpen and the time remaining until half-open probes are admitted
 // (the Retry-After hint). The open→half-open transition happens lazily
 // here, on the first Allow after the open interval elapsed.
+//
+// Half-open admits exactly one probe at a time: the first Allow wins
+// the probe slot, and every later Allow fast-rejects with ErrOpen until
+// the probe's outcome is recorded. Without this gate a recovering
+// backend takes the full concurrent request rush the instant the open
+// interval elapses — the thundering-herd retry pattern half-open exists
+// to prevent. Losers get a zero retryAfter hint: the probe outcome is
+// one request away, so "immediately, briefly" is the honest answer.
 func (b *Breaker) Allow() (retryAfter time.Duration, err error) {
 	if b == nil {
 		return 0, nil
 	}
 	b.mu.Lock()
 	var trans func()
-	if b.state == Open {
+	switch b.state {
+	case Open:
 		remaining := b.cfg.OpenFor - b.cfg.Now().Sub(b.openedAt)
 		if remaining > 0 {
 			b.mu.Unlock()
 			return remaining, ErrOpen
 		}
 		trans = b.transition(HalfOpen)
+		b.probing, b.probeAt = true, b.cfg.Now() // this caller is the first probe
+	case HalfOpen:
+		// An outcome that is never recorded (the probe's request was
+		// dropped before execution) must not wedge the slot forever: after
+		// OpenFor the slot is forfeit and the next Allow takes it over.
+		if b.probing && b.cfg.Now().Sub(b.probeAt) <= b.cfg.OpenFor {
+			b.mu.Unlock()
+			return 0, ErrOpen
+		}
+		b.probing, b.probeAt = true, b.cfg.Now()
 	}
 	b.mu.Unlock()
 	if trans != nil {
@@ -150,6 +172,9 @@ func (b *Breaker) Record(err error) {
 			trans = b.transition(Open)
 		}
 	case HalfOpen:
+		// Whatever the outcome, this record frees the probe slot the
+		// admitted probe was holding.
+		b.probing = false
 		if err != nil {
 			trans = b.transition(Open)
 		} else if b.probes++; b.probes >= b.cfg.Probes {
@@ -180,7 +205,7 @@ func (b *Breaker) State() State {
 func (b *Breaker) transition(to State) func() {
 	from := b.state
 	b.state = to
-	b.fails, b.probes = 0, 0
+	b.fails, b.probes, b.probing = 0, 0, false
 	if to == Open {
 		b.openedAt = b.cfg.Now()
 	}

@@ -124,6 +124,89 @@ func TestBreakerNilSafe(t *testing.T) {
 	}
 }
 
+// TestBreakerHalfOpenSingleProbe is the half-open admission contract
+// the cluster gateway leans on per replica: when the open interval
+// elapses and a rush of concurrent requests races Allow, exactly one
+// wins the probe slot and every loser gets an immediate ErrOpen with a
+// zero retryAfter (fast reject, not a queue). The slot frees on Record
+// and is forfeited after OpenFor if the probe's outcome never arrives.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{Failures: 1, OpenFor: time.Second, Probes: 2, Now: clock.Now})
+	b.Record(errBatch)
+	if got := b.State(); got != Open {
+		t.Fatalf("state %v, want open", got)
+	}
+	clock.Advance(1100 * time.Millisecond)
+
+	// 16 goroutines race the first Allow of the probe window.
+	const racers = 16
+	var admitted, rejected int32
+	var mu sync.Mutex
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			ra, err := b.Allow()
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				admitted++
+			case errors.Is(err, ErrOpen):
+				rejected++
+				if ra != 0 {
+					t.Errorf("loser retryAfter = %v, want 0 (fast reject)", ra)
+				}
+			default:
+				t.Errorf("Allow() = %v, want nil or ErrOpen", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if admitted != 1 || rejected != racers-1 {
+		t.Fatalf("admitted %d rejected %d, want exactly 1 probe and %d fast rejects", admitted, rejected, racers-1)
+	}
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state %v, want half-open", got)
+	}
+
+	// The slot stays held until the probe's outcome is recorded.
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow() with probe in flight = %v, want ErrOpen", err)
+	}
+	b.Record(nil)
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("second probe Allow() = %v, want admitted after Record freed the slot", err)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow() with second probe in flight = %v, want ErrOpen", err)
+	}
+	b.Record(nil) // second consecutive success: closed
+	if got := b.State(); got != Closed {
+		t.Fatalf("state %v, want closed after %d probe successes", got, 2)
+	}
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("closed Allow() = %v, want nil (no probe gate)", err)
+	}
+
+	// A probe whose outcome never arrives forfeits the slot after
+	// OpenFor, so a dropped probe request cannot wedge the breaker.
+	b.Record(errBatch)
+	clock.Advance(1100 * time.Millisecond)
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow() = %v", err)
+	}
+	clock.Advance(1100 * time.Millisecond) // probe outcome lost; slot expires
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("Allow() after stale probe = %v, want slot takeover", err)
+	}
+}
+
 func TestBreakerConcurrent(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(0, 0)}
 	b := NewBreaker(BreakerConfig{Failures: 2, OpenFor: time.Millisecond, Probes: 1, Now: clock.Now})

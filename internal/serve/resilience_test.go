@@ -337,14 +337,25 @@ func TestGuardrailDegradesAndRecovers(t *testing.T) {
 	}
 
 	// Cooldown is 2 degraded batches; both serve through the exact
-	// fallback and say so.
+	// fallback and say so — in the body and in the X-Snapea-Degraded
+	// response header the gateway reads.
 	for i := 0; i < 2; i++ {
-		code, pr, _ := postPredict(t, ts.URL, "tinynet", ModePredictive, body)
-		if code != http.StatusOK {
-			t.Fatalf("degraded batch %d: status %d", i, code)
+		hr, err := http.Post(ts.URL+"/v1/predict?model=tinynet&mode="+ModePredictive,
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pr predictResponse
+		derr := json.NewDecoder(hr.Body).Decode(&pr)
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusOK || derr != nil {
+			t.Fatalf("degraded batch %d: status %d, decode %v", i, hr.StatusCode, derr)
 		}
 		if !pr.Degraded {
 			t.Fatalf("degraded batch %d not flagged", i)
+		}
+		if got := hr.Header.Get("X-Snapea-Degraded"); got != "1" {
+			t.Fatalf("degraded batch %d: X-Snapea-Degraded %q, want %q", i, got, "1")
 		}
 	}
 

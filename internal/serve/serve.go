@@ -407,6 +407,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		metrics.RH("serve.e2e_us", lbl, latencyBoundsUS).Observe(total.Microseconds())
 	}
 	w.Header().Set("Content-Type", "application/json")
+	// Per-response observability headers: the cluster gateway (and any
+	// operator with curl -i) reads batching and degrade behavior off the
+	// response itself instead of scraping /metricsz and guessing which
+	// request rode which batch.
+	w.Header().Set("X-Snapea-Batch-Size", strconv.Itoa(resp.batch))
+	if resp.degraded {
+		w.Header().Set("X-Snapea-Degraded", "1")
+	} else {
+		w.Header().Set("X-Snapea-Degraded", "0")
+	}
 	json.NewEncoder(w).Encode(predictResponse{
 		Model:        model,
 		Mode:         mode,

@@ -10,6 +10,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -76,6 +77,15 @@ func TestPredictEndToEnd(t *testing.T) {
 	}
 	if pr.BatchSize < 1 || pr.TotalUS <= 0 {
 		t.Fatalf("timing/batch fields: %+v", pr)
+	}
+	// The per-response observability headers mirror the body: batch size
+	// as an integer, degrade flag as 0/1 (the gateway reads these without
+	// parsing JSON).
+	if bs, err := strconv.Atoi(resp.Header.Get("X-Snapea-Batch-Size")); err != nil || bs != pr.BatchSize {
+		t.Fatalf("X-Snapea-Batch-Size %q, want %d", resp.Header.Get("X-Snapea-Batch-Size"), pr.BatchSize)
+	}
+	if got := resp.Header.Get("X-Snapea-Degraded"); got != "0" {
+		t.Fatalf("X-Snapea-Degraded %q, want %q on a healthy model", got, "0")
 	}
 	if pr.MacReduction < 0 || pr.MacReduction >= 1 {
 		t.Fatalf("mac_reduction out of range: %v", pr.MacReduction)

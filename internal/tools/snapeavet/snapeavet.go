@@ -126,6 +126,7 @@ func DefaultConfig(modPath string) Config {
 			"nn.":              "deterministic",
 			"nn.gemm.scratch_": "runtime",
 			"serve.":           "runtime",
+			"gateway.":         "runtime",
 			"metrics.":         "runtime",
 			"experiment.":      "deterministic",
 		},
