@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet vet-snapea fuzz-smoke bench bench-gate bench-smoke bench-serve invariance metrics-smoke serve-smoke chaos-smoke cluster-smoke ci clean
+.PHONY: build test race vet vet-snapea fuzz-smoke bench bench-gate bench-smoke bench-serve invariance metrics-smoke serve-smoke chaos-smoke cluster-smoke integrity-smoke ci clean
 
 build:
 	$(GO) build ./...
@@ -93,8 +93,15 @@ chaos-smoke:
 cluster-smoke:
 	GO=$(GO) sh scripts/cluster_smoke.sh
 
+# Integrity smoke: an injected one-bit weight flip is detected by the
+# startup canary, quarantined, healed, and the healed server's answers
+# match a clean server's golden bit-for-bit; plus the checksummed-
+# artifact lifecycle (snapea-model -verify/-checksum, -require-checksums).
+integrity-smoke:
+	GO=$(GO) sh scripts/integrity_smoke.sh
+
 # The tier-1+ gate: everything CI runs before a merge.
-ci: vet vet-snapea build race fuzz-smoke bench-smoke bench-gate invariance metrics-smoke serve-smoke chaos-smoke cluster-smoke
+ci: vet vet-snapea build race fuzz-smoke bench-smoke bench-gate invariance metrics-smoke serve-smoke chaos-smoke cluster-smoke integrity-smoke
 
 clean:
 	$(GO) clean ./...

@@ -13,6 +13,14 @@
 // /healthz, /readyz (200 only once the -models preload compiled),
 // /metricsz (full metrics snapshot including the runtime serve section).
 //
+// The integrity layer (-scrub-interval, -canary-every, -scrub-mbps,
+// -require-checksums, -heal-backoff) detects silent corruption of a
+// served model: a startup canary plus a background scrubber and periodic
+// canary quarantine a corrupted model (fast 503 + X-Snapea-Quarantined,
+// quarantined:true in /v1/models and /readyz) while a heal loop
+// recompiles it from the artifact. See DESIGN.md, "Integrity and
+// self-healing".
+//
 // SIGINT/SIGTERM (or -timeout) triggers graceful shutdown: /readyz flips
 // to 503, the listener stops accepting, queued requests drain through
 // their batches, then the process exits 0.
@@ -58,13 +66,18 @@ func main() {
 	guardWindow := flag.Int("guard-window", 32, "guardrail sliding window in audited batches")
 	guardCooldown := flag.Int("guard-cooldown", 16, "degraded batches served before the guardrail probes predictive mode again")
 	auditEvery := flag.Int64("audit-every", 8, "audit every Nth predictive batch with exact misprediction accounting (<0 disables)")
+	scrubInterval := flag.Duration("scrub-interval", 30*time.Second, "background scrub cadence over compiled model state (<0 disables)")
+	scrubMBps := flag.Float64("scrub-mbps", 64, "scrubber re-hash rate limit in MB/s (<0 unthrottled)")
+	canaryEvery := flag.Duration("canary-every", time.Minute, "canary self-test cadence replaying each model's golden probe (<0 disables, startup check included)")
+	requireChecksums := flag.Bool("require-checksums", false, "reject params artifacts that carry no checksum block")
+	healBackoff := flag.Duration("heal-backoff", time.Second, "delay between failed heal attempts for a quarantined model")
 	drain := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget")
 	timeout := flag.Duration("timeout", 0, "stop serving after this duration (0 = until signalled)")
 	faultFlags := cli.FaultFlags(nil)
 	workers := cli.WorkersFlag(nil)
 	obs := cli.ObsFlags(nil)
 	flag.Parse()
-	if err := cli.ApplyEnv(nil, cli.ServeEnv(), cli.BreakerEnv(), cli.ObsEnv()); err != nil {
+	if err := cli.ApplyEnv(nil, cli.ServeEnv(), cli.BreakerEnv(), cli.IntegrityEnv(), cli.ObsEnv()); err != nil {
 		cli.Fatalf("snapea-serve", "%v", err)
 	}
 	workers.Apply()
@@ -105,6 +118,11 @@ func main() {
 		GuardCooldown:    *guardCooldown,
 		AuditEvery:       *auditEvery,
 		Faults:           faultCfg,
+		ScrubInterval:    *scrubInterval,
+		ScrubMBps:        *scrubMBps,
+		CanaryEvery:      *canaryEvery,
+		RequireChecksums: *requireChecksums,
+		HealBackoff:      *healBackoff,
 	}
 	if *scale == "full" {
 		cfg.Scale = models.Full

@@ -108,6 +108,19 @@ func GatewayEnv() map[string]string {
 	}
 }
 
+// IntegrityEnv maps snapea-serve's integrity-layer flags to their
+// environment defaults, so a fleet can tighten scrub cadence or demand
+// checksummed artifacts without editing each unit file.
+func IntegrityEnv() map[string]string {
+	return map[string]string{
+		"scrub-interval":    "SNAPEA_SCRUB_INTERVAL",
+		"scrub-mbps":        "SNAPEA_SCRUB_MBPS",
+		"canary-every":      "SNAPEA_CANARY_EVERY",
+		"require-checksums": "SNAPEA_REQUIRE_CHECKSUMS",
+		"heal-backoff":      "SNAPEA_HEAL_BACKOFF",
+	}
+}
+
 // LoadEnv maps snapea-load's traffic-shape flags to their environment
 // defaults.
 func LoadEnv() map[string]string {
@@ -186,6 +199,7 @@ func FaultFlags(fs *flag.FlagSet) *FaultFlagGroup {
 	g := &FaultFlagGroup{}
 	fs.Uint64Var(&g.seed, "fault-seed", 0, "fault-injection seed (0 = derive from -seed)")
 	fs.Float64Var(&g.weightBitFlip, "fault-weight-bitflip", 0, "per-weight bit-flip probability in the weight buffers")
+	fs.Int64Var(&g.weightFlipLimit, "fault-weight-flip-limit", 0, "total weight-buffer bit flips to inject before running clean (0 = unlimited)")
 	fs.Float64Var(&g.actBitFlip, "fault-act-bitflip", 0, "per-activation bit-flip probability per layer output")
 	fs.Float64Var(&g.nanRate, "fault-nan", 0, "per-activation NaN/Inf poisoning probability")
 	fs.Float64Var(&g.stuckZero, "fault-stuck", 0, "per-kernel stuck-at-zero probability (dead lanes)")
@@ -202,9 +216,10 @@ func FaultFlags(fs *flag.FlagSet) *FaultFlagGroup {
 
 // FaultFlagGroup holds the parsed -fault-* values.
 type FaultFlagGroup struct {
-	seed           uint64
-	weightBitFlip  float64
-	actBitFlip     float64
+	seed            uint64
+	weightBitFlip   float64
+	weightFlipLimit int64
+	actBitFlip      float64
 	nanRate        float64
 	stuckZero      float64
 	thJitter       float64
@@ -222,9 +237,10 @@ type FaultFlagGroup struct {
 // experiments inherit the tool's -seed determinism.
 func (g *FaultFlagGroup) Config(defaultSeed uint64) (faults.Config, error) {
 	cfg := faults.Config{
-		Seed:           g.seed,
-		WeightBitFlip:  g.weightBitFlip,
-		ActBitFlip:     g.actBitFlip,
+		Seed:            g.seed,
+		WeightBitFlip:   g.weightBitFlip,
+		WeightFlipLimit: g.weightFlipLimit,
+		ActBitFlip:      g.actBitFlip,
 		NaNRate:        g.nanRate,
 		StuckZero:      g.stuckZero,
 		ThJitter:       g.thJitter,

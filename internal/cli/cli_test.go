@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"snapea/internal/metrics"
 	"snapea/internal/parallel"
@@ -305,6 +306,22 @@ var applyEnvGroups = []struct {
 		argVal:   "0.05",
 		badVal:   "a-tenth",
 		read:     func(fs *flag.FlagSet) string { return fs.Lookup("hedge-budget").Value.String() },
+	},
+	{
+		name: "integrity",
+		env:  IntegrityEnv,
+		register: func(fs *flag.FlagSet) {
+			fs.Duration("scrub-interval", 30*time.Second, "")
+			fs.Float64("scrub-mbps", 64, "")
+			fs.Duration("canary-every", time.Minute, "")
+			fs.Bool("require-checksums", false, "")
+			fs.Duration("heal-backoff", time.Second, "")
+		},
+		flagName: "scrub-interval",
+		envVal:   "5s",
+		argVal:   "2s",
+		badVal:   "whenever",
+		read:     func(fs *flag.FlagSet) string { return fs.Lookup("scrub-interval").Value.String() },
 	},
 	{
 		name: "load",

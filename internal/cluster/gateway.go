@@ -424,7 +424,18 @@ func (g *Gateway) attempt(ctx context.Context, rep *Replica, path, query, conten
 	res.status, res.header, res.body = resp.StatusCode, resp.Header, data
 	if res.status == http.StatusBadGateway || res.status == http.StatusServiceUnavailable {
 		rep.errors.Add(1)
-		rep.record(fmt.Errorf("cluster: %s answered %d", rep.URL, res.status))
+		if res.header.Get("X-Snapea-Quarantined") == "1" {
+			// The replica's integrity layer quarantined this model: its
+			// answers can't be trusted until it heals, so the 503 counts
+			// against the replica's breaker like any failure — repeated
+			// quarantine responses eject it and siblings absorb the load.
+			if metrics.Enabled() {
+				metrics.RC("gateway.quarantined_responses", metrics.Labels{"replica": rep.URL}).Add(1)
+			}
+			rep.record(fmt.Errorf("cluster: %s quarantined the model", rep.URL))
+		} else {
+			rep.record(fmt.Errorf("cluster: %s answered %d", rep.URL, res.status))
+		}
 	} else {
 		rep.record(nil)
 	}
@@ -487,7 +498,7 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// serve observability headers) — plus the gateway's own provenance
 	// headers so a client can see which replica answered and whether the
 	// hedge won.
-	for _, h := range []string{"Content-Type", "Retry-After", "X-Snapea-Batch-Size", "X-Snapea-Degraded"} {
+	for _, h := range []string{"Content-Type", "Retry-After", "X-Snapea-Batch-Size", "X-Snapea-Degraded", "X-Snapea-Quarantined"} {
 		if v := res.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

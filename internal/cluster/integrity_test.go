@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// quarantinedPredict mimics a snapea-serve replica whose integrity
+// layer quarantined the model: fast 503 with the marker header.
+func quarantinedPredict() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("X-Snapea-Quarantined", "1")
+		http.Error(w, "model quarantined", http.StatusServiceUnavailable)
+	}
+}
+
+// TestGatewayFailsOverFromQuarantinedReplica pins the cluster tier of
+// the integrity story: quarantine 503s count against the replica's
+// breaker like failures, so traffic fails over to healthy siblings and
+// the quarantined replica is passively ejected.
+func TestGatewayFailsOverFromQuarantinedReplica(t *testing.T) {
+	healthy := fakeReplica(t, okPredict("healthy"))
+	sick := fakeReplica(t, quarantinedPredict())
+	g := newTestGateway(t, Config{
+		Replicas:      []string{healthy.URL, sick.URL},
+		ProbeInterval: time.Hour, // passive path only
+		HedgeQuantile: -1,
+		EjectFailures: 2,
+		EjectOpenFor:  time.Hour,
+	})
+	for i := 0; i < 20; i++ {
+		rec := postPredict(t, g, "model=tinynet")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d, want failover to keep everything 200", i, rec.Code)
+		}
+		if got := rec.Header().Get("X-Snapea-Replica"); got != healthy.URL {
+			t.Fatalf("request %d answered by %q, want %q", i, got, healthy.URL)
+		}
+		if rec.Header().Get("X-Snapea-Quarantined") != "" {
+			t.Fatalf("request %d: healthy answer carries the quarantine header", i)
+		}
+	}
+	for _, info := range g.Replicas().infos() {
+		if info.URL == sick.URL && info.Breaker != "open" {
+			t.Fatalf("quarantined replica breaker = %s, want open (passive ejection)", info.Breaker)
+		}
+	}
+}
+
+// TestGatewayPassesQuarantineHeaderThrough pins the single-replica
+// behavior: with nowhere to fail over, the quarantine 503 and its
+// marker header reach the client so it can back off intelligently.
+func TestGatewayPassesQuarantineHeaderThrough(t *testing.T) {
+	sick := fakeReplica(t, quarantinedPredict())
+	g := newTestGateway(t, Config{
+		Replicas:      []string{sick.URL},
+		ProbeInterval: time.Hour,
+		HedgeQuantile: -1,
+		EjectFailures: 100, // keep the breaker closed; this test is about passthrough
+	})
+	rec := postPredict(t, g, "model=tinynet")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want the replica's 503 passed through", rec.Code)
+	}
+	if rec.Header().Get("X-Snapea-Quarantined") != "1" {
+		t.Fatal("X-Snapea-Quarantined header not passed through")
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("Retry-After header not passed through")
+	}
+}

@@ -35,6 +35,15 @@ type Config struct {
 	// flipped (an SRAM soft error that persists for the whole run, since
 	// weights are loaded once).
 	WeightBitFlip float64
+	// WeightFlipLimit caps the total number of weight-buffer bit flips
+	// (rate-based and targeted) over the injector's lifetime; afterwards
+	// weight buffers stay clean. This models a bounded soft-error burst
+	// rather than a permanently hostile SRAM, which is what lets the
+	// integrity layer's self-heal recompile a clean copy after detecting
+	// the burst. Zero means unlimited. Setting the limit with a zero
+	// WeightBitFlip rate still enables the injector, making the targeted
+	// FlipOneBit primitive available without any rate-based corruption.
+	WeightFlipLimit int64
 	// ActBitFlip is the per-element probability, per layer output, that
 	// one bit of an activation is flipped in the activation buffer.
 	ActBitFlip float64
@@ -87,7 +96,7 @@ type Config struct {
 
 // Enabled reports whether any fault type is active.
 func (c Config) Enabled() bool {
-	return c.WeightBitFlip > 0 || c.ActBitFlip > 0 || c.NaNRate > 0 ||
+	return c.WeightBitFlip > 0 || c.WeightFlipLimit > 0 || c.ActBitFlip > 0 || c.NaNRate > 0 ||
 		c.StuckZero > 0 || c.ThJitter > 0 || c.NJitter > 0 || c.ServeEnabled()
 }
 
@@ -139,6 +148,9 @@ func (c Config) Validate() error {
 	}
 	if c.ServeLimit < 0 {
 		return fmt.Errorf("faults: serve-limit %d must be non-negative", c.ServeLimit)
+	}
+	if c.WeightFlipLimit < 0 {
+		return fmt.Errorf("faults: weight-flip-limit %d must be non-negative", c.WeightFlipLimit)
 	}
 	return nil
 }
@@ -268,21 +280,60 @@ func each(r *tensor.RNG, n int, p float64, visit func(i int)) {
 	}
 }
 
+// weightFlipLimit resolves Config.WeightFlipLimit to an effective cap.
+func (in *Injector) weightFlipLimit() int64 {
+	if in.cfg.WeightFlipLimit > 0 {
+		return in.cfg.WeightFlipLimit
+	}
+	return math.MaxInt64
+}
+
 // FlipWeightBits flips bits in a weight buffer at the configured
-// WeightBitFlip rate and returns the number of flips. The site should
-// name the buffer uniquely (layer and kernel).
+// WeightBitFlip rate, subject to the lifetime WeightFlipLimit budget,
+// and returns the number of flips. The site should name the buffer
+// uniquely (layer and kernel). The random stream is consumed
+// identically whether or not the budget admits a flip, so exhausting
+// the budget never perturbs later sites' draws.
 func (in *Injector) FlipWeightBits(site string, w []float32) int {
 	if in == nil || in.cfg.WeightBitFlip <= 0 {
 		return 0
 	}
+	lim := in.weightFlipLimit()
 	r := in.rng("wb/" + site)
 	flips := 0
 	each(r, len(w), in.cfg.WeightBitFlip, func(i int) {
-		w[i] = flipBit(w[i], uint(r.Intn(32)))
+		bit := uint(r.Intn(32))
+		if in.weightBits.Add(1) > lim {
+			// Lost the race for the last budgeted flip: run clean.
+			in.weightBits.Add(-1)
+			return
+		}
+		w[i] = flipBit(w[i], bit)
 		flips++
 	})
-	in.weightBits.Add(int64(flips))
 	return flips
+}
+
+// FlipOneBit flips one uniformly chosen bit of one uniformly chosen
+// element of w — a single targeted soft error, the live-corruption
+// primitive the integrity lifecycle tests and smoke drive against a
+// serving model's compiled weight buffers. The flip counts against the
+// WeightFlipLimit budget like any rate-based flip. Returns the flipped
+// index, or -1 when nothing was flipped (nil injector, empty buffer, or
+// exhausted budget).
+func (in *Injector) FlipOneBit(site string, w []float32) int {
+	if in == nil || len(w) == 0 {
+		return -1
+	}
+	r := in.rng("flip1/" + site)
+	i := r.Intn(len(w))
+	bit := uint(r.Intn(32))
+	if in.weightBits.Add(1) > in.weightFlipLimit() {
+		in.weightBits.Add(-1)
+		return -1
+	}
+	w[i] = flipBit(w[i], bit)
+	return i
 }
 
 // CorruptActivations applies activation bit flips and NaN/Inf poisoning

@@ -1,0 +1,112 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightFlipLimitCapsTotalFlips(t *testing.T) {
+	in := New(Config{Seed: 11, WeightBitFlip: 1, WeightFlipLimit: 3})
+	w := make([]float32, 100)
+	flips := in.FlipWeightBits("conv1/k0", w)
+	flips += in.FlipWeightBits("conv2/k0", w)
+	if flips != 3 {
+		t.Fatalf("total flips = %d, want exactly the limit 3", flips)
+	}
+	if got := in.Stats().WeightBits; got != 3 {
+		t.Fatalf("Stats().WeightBits = %d, want 3", got)
+	}
+	// The budget is shared with the targeted primitive: nothing left.
+	if i := in.FlipOneBit("live", w); i != -1 {
+		t.Fatalf("FlipOneBit after exhausted budget = %d, want -1", i)
+	}
+}
+
+func TestWeightFlipLimitUnlimitedWhenZero(t *testing.T) {
+	in := New(Config{Seed: 11, WeightBitFlip: 1})
+	w := make([]float32, 64)
+	if flips := in.FlipWeightBits("s", w); flips != len(w) {
+		t.Fatalf("flips = %d, want every weight at rate 1 with no limit", flips)
+	}
+}
+
+func TestLimitOnlyConfigEnablesInjector(t *testing.T) {
+	cfg := Config{Seed: 5, WeightFlipLimit: 1}
+	if !cfg.Enabled() {
+		t.Fatal("WeightFlipLimit alone does not enable the config")
+	}
+	in := New(cfg)
+	if in == nil {
+		t.Fatal("New returned nil for an enabled config")
+	}
+	// No rate-based flips happen...
+	w := make([]float32, 16)
+	if flips := in.FlipWeightBits("s", w); flips != 0 {
+		t.Fatalf("rate-0 FlipWeightBits flipped %d", flips)
+	}
+	// ...but the targeted primitive works, exactly once.
+	w[0], w[5] = 1, 1
+	i := in.FlipOneBit("live", w)
+	if i < 0 || i >= len(w) {
+		t.Fatalf("FlipOneBit index = %d", i)
+	}
+	if j := in.FlipOneBit("live", w); j != -1 {
+		t.Fatalf("second FlipOneBit = %d, want -1 (budget 1 spent)", j)
+	}
+	if got := in.Stats().WeightBits; got != 1 {
+		t.Fatalf("Stats().WeightBits = %d, want 1", got)
+	}
+}
+
+func TestFlipOneBitDeterministicAndSingle(t *testing.T) {
+	mk := func() ([]float32, int) {
+		in := New(Config{Seed: 9, WeightFlipLimit: 10})
+		w := make([]float32, 32)
+		for i := range w {
+			w[i] = float32(i) + 0.5
+		}
+		return w, in.FlipOneBit("site-a", w)
+	}
+	w1, i1 := mk()
+	w2, i2 := mk()
+	if i1 != i2 {
+		t.Fatalf("same seed/site flipped different indices: %d vs %d", i1, i2)
+	}
+	changed := 0
+	for i := range w1 {
+		if math.Float32bits(w1[i]) != math.Float32bits(w2[i]) {
+			t.Fatalf("runs diverge at %d", i)
+		}
+		if w1[i] != float32(i)+0.5 {
+			changed++
+			if i != i1 {
+				t.Fatalf("element %d changed but reported index is %d", i, i1)
+			}
+			// Exactly one bit differs.
+			diff := math.Float32bits(w1[i]) ^ math.Float32bits(float32(i)+0.5)
+			if diff == 0 || diff&(diff-1) != 0 {
+				t.Fatalf("element %d differs by %032b, want a single bit", i, diff)
+			}
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("%d elements changed, want exactly 1", changed)
+	}
+}
+
+func TestFlipOneBitNilAndEmpty(t *testing.T) {
+	var in *Injector
+	if i := in.FlipOneBit("s", []float32{1}); i != -1 {
+		t.Fatalf("nil injector FlipOneBit = %d", i)
+	}
+	live := New(Config{Seed: 1, WeightFlipLimit: 1})
+	if i := live.FlipOneBit("s", nil); i != -1 {
+		t.Fatalf("empty buffer FlipOneBit = %d", i)
+	}
+}
+
+func TestValidateRejectsNegativeFlipLimit(t *testing.T) {
+	if err := (Config{WeightFlipLimit: -1}).Validate(); err == nil {
+		t.Fatal("negative WeightFlipLimit validated")
+	}
+}

@@ -1,0 +1,264 @@
+package integrity
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Checksummed-artifact support for the SNAPEA01 weights container
+// (internal/models/serialize.go). The trailer extends the legacy format
+// backward-compatibly — it sits after the last layer, where the legacy
+// loader required EOF:
+//
+//	magic "SNPCRC01" | uint32 record count | per record: uint32 CRC32C
+//
+// Records cover each layer's tensors in file order — weights then bias
+// per layer — and each CRC is computed over the tensor's raw
+// little-endian float32 payload (not its count prefix: a corrupted
+// count already fails structural validation). A file without the
+// trailer is a legacy artifact; loaders accept it unless checksums are
+// required.
+//
+// The functions here parse the container *structurally* — string and
+// counted-float frames only, no model — so snapea-model can checksum
+// and verify artifacts without building the network they belong to.
+
+// WeightsMagic is the SNAPEA01 container magic (mirrors the private
+// constant in internal/models; the format comment there is normative).
+const WeightsMagic = "SNAPEA01"
+
+// TrailerMagic introduces the per-tensor checksum trailer.
+const TrailerMagic = "SNPCRC01"
+
+// maxStringLen mirrors the loader's bound on serialized string lengths.
+const maxStringLen = 1 << 16
+
+// TensorCheck is one tensor's verification outcome in a per-tensor
+// report.
+type TensorCheck struct {
+	Layer    string
+	Tensor   string // "weights" or "bias"
+	Stored   uint32
+	Computed uint32
+	OK       bool
+}
+
+// walker is a bounds-checked cursor over a serialized container. Every
+// read validates against the remaining length, so arbitrary (fuzzed)
+// bytes can never index out of range or allocate from a forged count.
+type walker struct {
+	data []byte
+	off  int
+}
+
+func (w *walker) take(n int) ([]byte, error) {
+	if n < 0 || n > len(w.data)-w.off {
+		return nil, fmt.Errorf("integrity: truncated artifact at offset %d (want %d more bytes)", w.off, n)
+	}
+	b := w.data[w.off : w.off+n]
+	w.off += n
+	return b, nil
+}
+
+func (w *walker) u32() (uint32, error) {
+	b, err := w.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (w *walker) u64() (uint64, error) {
+	b, err := w.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (w *walker) str() (string, error) {
+	n, err := w.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("integrity: implausible string length %d", n)
+	}
+	b, err := w.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// floats consumes one counted float32 tensor frame and returns the
+// CRC32C of its payload bytes. The count is bounded by the bytes
+// actually remaining, so a forged count fails here instead of
+// allocating.
+func (w *walker) floats() (uint32, error) {
+	n, err := w.u64()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(len(w.data)-w.off)/4 {
+		return 0, fmt.Errorf("integrity: tensor count %d exceeds remaining bytes", n)
+	}
+	b, err := w.take(int(n) * 4)
+	if err != nil {
+		return 0, err
+	}
+	return Checksum(b), nil
+}
+
+// tensorRecord is one tensor's location in the container walk.
+type tensorRecord struct {
+	layer  string
+	tensor string
+	crc    uint32
+}
+
+// walkWeights structurally parses a SNAPEA01 container: per-tensor
+// records with computed CRCs, plus the offset where the payload ends
+// (the trailer, if any, starts there).
+func walkWeights(data []byte) ([]tensorRecord, int, error) {
+	w := &walker{data: data}
+	magic, err := w.take(len(WeightsMagic))
+	if err != nil {
+		return nil, 0, err
+	}
+	if string(magic) != WeightsMagic {
+		return nil, 0, fmt.Errorf("integrity: bad weights magic %q", magic)
+	}
+	if _, err := w.str(); err != nil { // model name
+		return nil, 0, err
+	}
+	layers, err := w.u32()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Each layer costs at least 4+8+8 bytes, which bounds the count
+	// without trusting it.
+	if uint64(layers) > uint64(len(data))/20 {
+		return nil, 0, fmt.Errorf("integrity: implausible layer count %d", layers)
+	}
+	recs := make([]tensorRecord, 0, 2*layers)
+	for i := uint32(0); i < layers; i++ {
+		name, err := w.str()
+		if err != nil {
+			return nil, 0, err
+		}
+		wc, err := w.floats()
+		if err != nil {
+			return nil, 0, fmt.Errorf("integrity: layer %q weights: %w", name, err)
+		}
+		bc, err := w.floats()
+		if err != nil {
+			return nil, 0, fmt.Errorf("integrity: layer %q bias: %w", name, err)
+		}
+		recs = append(recs, tensorRecord{name, "weights", wc}, tensorRecord{name, "bias", bc})
+	}
+	return recs, w.off, nil
+}
+
+// AppendWeightsTrailer appends the SNPCRC01 trailer for the given
+// per-tensor CRCs (file order) to dst and returns the extended slice.
+func AppendWeightsTrailer(dst []byte, crcs []uint32) []byte {
+	dst = append(dst, TrailerMagic...)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(crcs)))
+	dst = append(dst, b[:]...)
+	for _, crc := range crcs {
+		binary.LittleEndian.PutUint32(b[:], crc)
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// ParseWeightsTrailer parses a SNPCRC01 trailer occupying exactly data
+// and returns the stored per-tensor CRCs.
+func ParseWeightsTrailer(data []byte) ([]uint32, error) {
+	w := &walker{data: data}
+	magic, err := w.take(len(TrailerMagic))
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != TrailerMagic {
+		return nil, fmt.Errorf("integrity: bad trailer magic %q", magic)
+	}
+	n, err := w.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(len(data)-w.off)/4 {
+		return nil, fmt.Errorf("integrity: trailer record count %d exceeds remaining bytes", n)
+	}
+	crcs := make([]uint32, n)
+	for i := range crcs {
+		if crcs[i], err = w.u32(); err != nil {
+			return nil, err
+		}
+	}
+	if w.off != len(data) {
+		return nil, fmt.Errorf("integrity: %d trailing bytes after checksum trailer", len(data)-w.off)
+	}
+	return crcs, nil
+}
+
+// ChecksumWeights returns the artifact with a fresh SNPCRC01 trailer.
+// An artifact that already carries a trailer is verified first and a
+// mismatch is an error — silently re-checksumming corrupt bytes would
+// bless the corruption as authentic.
+func ChecksumWeights(data []byte) ([]byte, error) {
+	checks, checksummed, err := VerifyWeights(data)
+	if err != nil {
+		return nil, err
+	}
+	recs, end, _ := walkWeights(data) // verified above; cannot fail here
+	if checksummed {
+		for _, c := range checks {
+			if !c.OK {
+				return nil, fmt.Errorf("integrity: refusing to re-checksum corrupt artifact: layer %q %s stored %08x, computed %08x",
+					c.Layer, c.Tensor, c.Stored, c.Computed)
+			}
+		}
+	}
+	crcs := make([]uint32, len(recs))
+	for i, r := range recs {
+		crcs[i] = r.crc
+	}
+	out := make([]byte, end, end+len(TrailerMagic)+4+4*len(crcs))
+	copy(out, data[:end])
+	return AppendWeightsTrailer(out, crcs), nil
+}
+
+// VerifyWeights structurally parses a SNAPEA01 artifact and checks its
+// trailer. The bool reports whether a trailer was present: false means
+// a legacy artifact (checks is nil, err is nil when the container
+// itself is well-formed).
+func VerifyWeights(data []byte) ([]TensorCheck, bool, error) {
+	recs, end, err := walkWeights(data)
+	if err != nil {
+		return nil, false, err
+	}
+	if end == len(data) {
+		return nil, false, nil // legacy: no trailer
+	}
+	stored, err := ParseWeightsTrailer(data[end:])
+	if err != nil {
+		return nil, false, err
+	}
+	if len(stored) != len(recs) {
+		return nil, true, fmt.Errorf("integrity: trailer has %d checksums, container has %d tensors", len(stored), len(recs))
+	}
+	checks := make([]TensorCheck, len(recs))
+	for i, r := range recs {
+		checks[i] = TensorCheck{
+			Layer:    r.layer,
+			Tensor:   r.tensor,
+			Stored:   stored[i],
+			Computed: r.crc,
+			OK:       stored[i] == r.crc,
+		}
+	}
+	return checks, true, nil
+}

@@ -1,0 +1,75 @@
+package models
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"snapea/internal/integrity"
+)
+
+// TestLoadWeightsDetectsPayloadCorruption pins the loader side of the
+// checksummed-artifact contract: a single flipped payload bit fails the
+// load with a checksum error instead of silently filling the model.
+func TestLoadWeightsDetectsPayloadCorruption(t *testing.T) {
+	m, err := Build("tinynet", Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	trailer := bytes.LastIndex(data, []byte(integrity.TrailerMagic))
+	if trailer < 0 {
+		t.Fatal("SaveWeights wrote no checksum trailer")
+	}
+	// First byte of the last payload float: a mantissa LSB flip, so the
+	// value stays finite and only the checksum can catch it.
+	data[trailer-4] ^= 0x01
+
+	dst, err := Build("tinynet", Options{Seed: 2, SkipInit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = dst.LoadWeights(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("corrupted artifact loaded without error")
+	}
+	if !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("error %q does not name the checksum mismatch", err)
+	}
+}
+
+// TestLoadWeightsLegacyCompat pins backward compatibility: a
+// trailer-less artifact still loads, unless checksums are required.
+func TestLoadWeightsLegacyCompat(t *testing.T) {
+	m, err := Build("tinynet", Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.saveWeights(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	legacy := buf.Bytes()
+	if bytes.Contains(legacy, []byte(integrity.TrailerMagic)) {
+		t.Fatal("legacy save wrote a trailer")
+	}
+
+	dst, err := Build("tinynet", Options{Seed: 2, SkipInit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.LoadWeights(bytes.NewReader(legacy)); err != nil {
+		t.Fatalf("legacy artifact rejected by default policy: %v", err)
+	}
+	err = dst.LoadWeightsChecked(bytes.NewReader(legacy), true)
+	if err == nil {
+		t.Fatal("legacy artifact accepted with checksums required")
+	}
+	if !strings.Contains(err.Error(), "no checksum trailer") {
+		t.Fatalf("error %q does not name the missing trailer", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 
+	"snapea/internal/integrity"
 	"snapea/internal/nn"
 )
 
@@ -16,11 +17,18 @@ import (
 // little-endian:
 //
 //	magic "SNAPEA01" | name len+bytes | layer count |
-//	per layer: name len+bytes | weight count | weights | bias count | bias
+//	per layer: name len+bytes | weight count | weights | bias count | bias |
+//	optional trailer: "SNPCRC01" | record count | per-tensor CRC32C
 //
 // Topology is NOT serialized — the loader rebuilds the graph from the
 // model name and options and then requires an exact parameter-shape
 // match, which guards against loading weights into the wrong scale.
+//
+// The trailer (internal/integrity) carries one CRC32C per tensor in
+// file order (weights then bias per layer), computed over the raw
+// float32 payload. SaveWeights always writes it; LoadWeights verifies
+// it when present and accepts legacy trailer-less files unless the
+// caller requires checksums.
 
 const weightsMagic = "SNAPEA01"
 
@@ -44,8 +52,13 @@ func (m *Model) paramLayers() []paramLayer {
 	return out
 }
 
-// SaveWeights writes all convolution and FC parameters to w.
-func (m *Model) SaveWeights(w io.Writer) error {
+// SaveWeights writes all convolution and FC parameters to w, followed
+// by the per-tensor CRC32C trailer.
+func (m *Model) SaveWeights(w io.Writer) error { return m.saveWeights(w, true) }
+
+// saveWeights is the implementation; withTrailer false writes the
+// legacy trailer-less format (tests exercising backward compatibility).
+func (m *Model) saveWeights(w io.Writer, withTrailer bool) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(weightsMagic); err != nil {
 		return err
@@ -57,14 +70,23 @@ func (m *Model) SaveWeights(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, uint32(len(layers))); err != nil {
 		return err
 	}
+	crcs := make([]uint32, 0, 2*len(layers))
 	for _, l := range layers {
 		if err := writeString(bw, l.name); err != nil {
 			return err
 		}
-		if err := writeFloats(bw, l.weights); err != nil {
+		wc, err := writeFloats(bw, l.weights)
+		if err != nil {
 			return err
 		}
-		if err := writeFloats(bw, l.bias); err != nil {
+		bc, err := writeFloats(bw, l.bias)
+		if err != nil {
+			return err
+		}
+		crcs = append(crcs, wc, bc)
+	}
+	if withTrailer {
+		if _, err := bw.Write(integrity.AppendWeightsTrailer(nil, crcs)); err != nil {
 			return err
 		}
 	}
@@ -73,8 +95,14 @@ func (m *Model) SaveWeights(w io.Writer) error {
 
 // LoadWeights fills the model's parameters from r. The stream must have
 // been produced by SaveWeights on a model with the same name and layer
-// shapes.
-func (m *Model) LoadWeights(r io.Reader) error {
+// shapes. A checksum trailer, when present, is verified; legacy files
+// without one are accepted.
+func (m *Model) LoadWeights(r io.Reader) error { return m.LoadWeightsChecked(r, false) }
+
+// LoadWeightsChecked is LoadWeights with checksum policy:
+// requireChecksums rejects legacy artifacts that carry no trailer, the
+// loader side of the serving tier's -require-checksums flag.
+func (m *Model) LoadWeightsChecked(r io.Reader, requireChecksums bool) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(weightsMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -98,6 +126,7 @@ func (m *Model) LoadWeights(r io.Reader) error {
 	if int(count) != len(layers) {
 		return fmt.Errorf("models: %d serialized layers, model has %d", count, len(layers))
 	}
+	crcs := make([]uint32, 0, 2*len(layers))
 	for _, l := range layers {
 		lname, err := readString(br)
 		if err != nil {
@@ -106,17 +135,45 @@ func (m *Model) LoadWeights(r io.Reader) error {
 		if lname != l.name {
 			return fmt.Errorf("models: layer order mismatch: %q vs %q", lname, l.name)
 		}
-		if err := readFloats(br, l.weights); err != nil {
+		wc, err := readFloats(br, l.weights)
+		if err != nil {
 			return fmt.Errorf("models: %s weights: %w", l.name, err)
 		}
-		if err := readFloats(br, l.bias); err != nil {
+		bc, err := readFloats(br, l.bias)
+		if err != nil {
 			return fmt.Errorf("models: %s bias: %w", l.name, err)
 		}
+		crcs = append(crcs, wc, bc)
 	}
-	// A well-formed stream ends exactly here; trailing bytes mean the
-	// file does not match the model (or was concatenated/corrupted).
-	if _, err := br.ReadByte(); err != io.EOF {
-		return fmt.Errorf("models: trailing data after last layer")
+	// A well-formed stream ends here (legacy) or continues with the
+	// checksum trailer; anything else means the file does not match the
+	// model (or was concatenated/corrupted).
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return fmt.Errorf("models: read checksum trailer: %w", err)
+	}
+	if len(rest) == 0 {
+		if requireChecksums {
+			return fmt.Errorf("models: %s weights artifact has no checksum trailer (checksums required)", name)
+		}
+		return nil
+	}
+	stored, err := integrity.ParseWeightsTrailer(rest)
+	if err != nil {
+		return fmt.Errorf("models: trailing data after last layer: %w", err)
+	}
+	if len(stored) != len(crcs) {
+		return fmt.Errorf("models: checksum trailer has %d records, model has %d tensors", len(stored), len(crcs))
+	}
+	for i, want := range stored {
+		if crcs[i] != want {
+			l, tensor := layers[i/2], "weights"
+			if i%2 == 1 {
+				tensor = "bias"
+			}
+			return fmt.Errorf("models: %s %s checksum mismatch: stored %08x, computed %08x (artifact corrupted)",
+				l.name, tensor, want, crcs[i])
+		}
 	}
 	return nil
 }
@@ -144,41 +201,47 @@ func readString(r io.Reader) (string, error) {
 	return string(buf), nil
 }
 
-func writeFloats(w io.Writer, fs []float32) error {
+// writeFloats writes one counted tensor frame and returns the CRC32C of
+// its payload bytes, the trailer's per-tensor record.
+func writeFloats(w io.Writer, fs []float32) (uint32, error) {
 	if err := binary.Write(w, binary.LittleEndian, uint64(len(fs))); err != nil {
-		return err
+		return 0, err
 	}
 	buf := make([]byte, 4*len(fs))
 	for i, f := range fs {
 		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(f))
 	}
-	_, err := w.Write(buf)
-	return err
+	if _, err := w.Write(buf); err != nil {
+		return 0, err
+	}
+	return integrity.Checksum(buf), nil
 }
 
-func readFloats(r io.Reader, dst []float32) error {
+// readFloats reads one counted tensor frame into dst and returns the
+// CRC32C of the payload bytes as read, for trailer verification.
+func readFloats(r io.Reader, dst []float32) (uint32, error) {
 	var n uint64
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-		return err
+		return 0, err
 	}
 	// Compare in uint64 so a forged count cannot wrap int on 32-bit
 	// builds; the buffer below is sized from the model, never from n.
 	if n != uint64(len(dst)) {
-		return fmt.Errorf("expected %d values, stream has %d", len(dst), n)
+		return 0, fmt.Errorf("expected %d values, stream has %d", len(dst), n)
 	}
 	buf := make([]byte, 4*len(dst))
 	if _, err := io.ReadFull(r, buf); err != nil {
 		if err == io.ErrUnexpectedEOF || err == io.EOF {
-			return fmt.Errorf("truncated stream: %w", err)
+			return 0, fmt.Errorf("truncated stream: %w", err)
 		}
-		return err
+		return 0, err
 	}
 	for i := range dst {
 		v := math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
 		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
-			return fmt.Errorf("non-finite value at index %d", i)
+			return 0, fmt.Errorf("non-finite value at index %d", i)
 		}
 		dst[i] = v
 	}
-	return nil
+	return integrity.Checksum(buf), nil
 }

@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"snapea/internal/faults"
+	"snapea/internal/integrity"
 	"snapea/internal/metrics"
 	"snapea/internal/models"
 	"snapea/internal/resilience"
@@ -44,6 +47,9 @@ func (k modelKey) String() string { return k.Model + "/" + k.Mode }
 type entry struct {
 	key   modelKey
 	ready chan struct{}
+	// stop is closed by retire: the entry's sentinel exits, and a heal
+	// loop backing off on this entry abandons it.
+	stop chan struct{}
 
 	// Valid after ready is closed.
 	net     *snapea.Network
@@ -56,6 +62,57 @@ type entry struct {
 	// transient marks err as retryable: the registry swaps in a fresh
 	// entry on the next get instead of serving the cached failure.
 	transient bool
+
+	// Integrity supervision (see internal/integrity). scrub re-hashes the
+	// compiled plans against load-time digests; canary replays the golden
+	// probe. quarantined flips once, when either detects corruption: the
+	// HTTP layer then sheds this model's traffic with fast 503s while the
+	// heal loop compiles a replacement from the artifact.
+	scrub       *integrity.Scrubber
+	canary      *integrity.Canary
+	quarantined atomic.Bool
+	quarMu      sync.Mutex
+	quarReason  string
+	retireOnce  sync.Once
+}
+
+func newEntry(key modelKey) *entry {
+	return &entry{key: key, ready: make(chan struct{}), stop: make(chan struct{})}
+}
+
+// retire ends the entry's supervised life: the sentinel and any heal
+// loop watching it exit, and its batcher drains. Idempotent — the heal
+// swap and registry shutdown may both retire the same entry.
+func (e *entry) retire() {
+	e.retireOnce.Do(func() {
+		close(e.stop)
+		if e.batcher != nil {
+			e.batcher.close()
+		}
+	})
+}
+
+// markQuarantined flips the entry into quarantine and records why.
+// Returns false when the entry was already quarantined.
+func (e *entry) markQuarantined(reason string) bool {
+	if !e.quarantined.CompareAndSwap(false, true) {
+		return false
+	}
+	e.quarMu.Lock()
+	e.quarReason = reason
+	e.quarMu.Unlock()
+	if metrics.Enabled() {
+		lbl := metrics.Labels{"model": e.key.Model, "mode": e.key.Mode}
+		metrics.RC("integrity.quarantines", lbl).Add(1)
+		metrics.RG("integrity.quarantined", lbl).Set(1)
+	}
+	return true
+}
+
+func (e *entry) quarantineReason() string {
+	e.quarMu.Lock()
+	defer e.quarMu.Unlock()
+	return e.quarReason
 }
 
 // registry lazily compiles and caches snapea.Network plans and their
@@ -63,6 +120,11 @@ type entry struct {
 type registry struct {
 	cfg  Config
 	pool *tensorPool
+	// inj is the server-wide fault injector, shared by every compile so
+	// lifetime budgets (ServeLimit, WeightFlipLimit) span recompiles —
+	// which is what makes self-heal meaningful under injected faults: a
+	// heal recompile after the budget is spent comes out clean.
+	inj *faults.Injector
 
 	mu      sync.Mutex
 	entries map[modelKey]*entry
@@ -74,7 +136,11 @@ type registry struct {
 }
 
 func newRegistry(cfg Config, pool *tensorPool) *registry {
-	return &registry{cfg: cfg, pool: pool, entries: make(map[modelKey]*entry)}
+	r := &registry{cfg: cfg, pool: pool, entries: make(map[modelKey]*entry)}
+	if cfg.Faults.Enabled() {
+		r.inj = faults.New(cfg.Faults)
+	}
+	return r
 }
 
 // get returns the ready entry for key, compiling it on first use. It
@@ -95,13 +161,14 @@ func (r *registry) get(ctx context.Context, key modelKey) (*entry, error) {
 			if e.err != nil && e.transient {
 				// Retry a transiently-failed compile: replace the slot so
 				// concurrent getters singleflight onto the new attempt.
-				e = &entry{key: key, ready: make(chan struct{})}
+				e = newEntry(key)
 				r.entries[key] = e
 				r.mu.Unlock()
 				if metrics.Enabled() {
 					metrics.RC("serve.compile_retries", nil).Add(1)
 				}
 				r.compile(e)
+				r.postCompile(e)
 				return e.result()
 			}
 		default:
@@ -117,13 +184,14 @@ func (r *registry) get(ctx context.Context, key modelKey) (*entry, error) {
 			return nil, ctx.Err()
 		}
 	}
-	e = &entry{key: key, ready: make(chan struct{})}
+	e = newEntry(key)
 	r.entries[key] = e
 	r.mu.Unlock()
 	if metrics.Enabled() {
 		metrics.RC("serve.compile_cache.misses", nil).Add(1)
 	}
 	r.compile(e)
+	r.postCompile(e)
 	return e.result()
 }
 
@@ -149,11 +217,11 @@ func (r *registry) compile(e *entry) {
 		e.err = fmt.Errorf("%w: %v", errUnknownModel, err)
 		return
 	}
-	var inj *faults.Injector
-	if cfg.Faults.Enabled() {
-		inj = faults.New(cfg.Faults)
-	}
+	// The injector is server-wide (see registry.inj) so fault budgets
+	// span recompiles instead of resetting per compile.
+	inj := r.inj
 	var fallback *snapea.Network
+	var params map[string]snapea.LayerParams
 	switch e.key.Mode {
 	case ModeExact:
 		e.net = snapea.CompileFaulty(m, nil, cfg.NegOrder, inj)
@@ -175,7 +243,7 @@ func (r *registry) compile(e *entry) {
 			e.transient = true
 			return
 		}
-		f, err := snapea.ParseParams(data)
+		f, err := snapea.ParseParamsChecked(data, cfg.RequireChecksums)
 		if err != nil {
 			e.err = err
 			return
@@ -184,7 +252,14 @@ func (r *registry) compile(e *entry) {
 			e.err = err
 			return
 		}
-		params := make(map[string]snapea.LayerParams, len(f.Layers))
+		if metrics.Enabled() {
+			if f.Checksums != nil {
+				metrics.RC("integrity.artifacts_verified", nil).Add(1)
+			} else {
+				metrics.RC("integrity.artifacts_legacy", nil).Add(1)
+			}
+		}
+		params = make(map[string]snapea.LayerParams, len(f.Layers))
 		for node, p := range f.Layers {
 			params[node] = p
 		}
@@ -262,6 +337,184 @@ func (r *registry) compile(e *entry) {
 		guard:      e.guard,
 		fallback:   fallback,
 	})
+
+	// Integrity supervision. The scrubber captures load-time digests of
+	// every compiled conv plan (the canary covers the rest of the network
+	// end-to-end, FC head included).
+	if cfg.ScrubInterval > 0 {
+		regions := make([]integrity.Region, 0, len(e.net.PlanOrder))
+		for _, node := range e.net.PlanOrder {
+			p := e.net.Plans[node]
+			regions = append(regions, integrity.Region{
+				Name:   e.key.String() + "/" + node,
+				Bytes:  p.StateBytes(),
+				Digest: p.StateDigest,
+			})
+		}
+		e.scrub = integrity.NewScrubber(lbl, cfg.ScrubMBps, regions)
+	}
+	// The canary replays a deterministic dense probe and compares outputs
+	// bit-for-bit. Its golden comes from a clean twin compile when the
+	// fault config corrupts compiled state (so the canary sees injected
+	// corruption as corruption), and from self-capture otherwise (so it
+	// detects any change since load). Activation-path faults corrupt
+	// every forward — the canary's included — so those chaos configs run
+	// without one, as does CanaryEvery < 0.
+	if cfg.CanaryEvery >= 0 && !activationFaulty(cfg.Faults) {
+		probe := integrity.ProbeData(cfg.Seed, e.key.String(), e.inShape.Elems())
+		run := func() []float32 {
+			in := tensor.New(e.inShape)
+			copy(in.Data(), probe)
+			out := e.net.Forward(in, snapea.RunOpts{}, nil)
+			return append([]float32(nil), out.Data()...)
+		}
+		var golden []float32
+		if compileCorrupting(cfg.Faults) {
+			clean := snapea.CompileFaulty(m, params, cfg.NegOrder, nil)
+			in := tensor.New(e.inShape)
+			copy(in.Data(), probe)
+			golden = append([]float32(nil), clean.Forward(in, snapea.RunOpts{}, nil).Data()...)
+		} else {
+			golden = run()
+		}
+		e.canary = integrity.NewCanary(lbl, golden, run)
+		// Startup self-test: a model corrupted before it ever serves is
+		// quarantined here, before its first request. postCompile spawns
+		// the heal.
+		if cerr := e.canary.Check(); cerr != nil {
+			e.markQuarantined(fmt.Sprintf("startup canary: %v", cerr))
+		}
+	}
+}
+
+// compileCorrupting reports whether the fault config corrupts compiled
+// plan state itself (as opposed to per-forward activation faults or
+// serve-path batch faults).
+func compileCorrupting(c faults.Config) bool {
+	return c.WeightBitFlip > 0 || c.StuckZero > 0 || c.ThJitter > 0 || c.NJitter > 0
+}
+
+// activationFaulty reports per-forward activation corruption, which
+// would trip a canary on every run by design.
+func activationFaulty(c faults.Config) bool { return c.ActBitFlip > 0 || c.NaNRate > 0 }
+
+// postCompile starts the compiled entry's supervised life: a sentinel
+// goroutine for healthy entries, a heal loop for entries the startup
+// canary already quarantined. Called exactly once per entry installed in
+// the map, after compile returns (never for heal's candidate entries,
+// whose lifecycle heal owns until the swap).
+func (r *registry) postCompile(e *entry) {
+	switch {
+	case e.err != nil:
+	case e.quarantined.Load():
+		go r.heal(e)
+	default:
+		go r.sentinel(e)
+	}
+}
+
+// sentinel is one entry's background integrity watcher: it scrubs the
+// compiled state and replays the canary on their configured intervals,
+// quarantines the entry on the first alarm, and exits. A scrub alarm is
+// confirmed at the output level by an immediate canary run so the
+// quarantine reason carries both views.
+//
+//snapea:runtime
+func (r *registry) sentinel(e *entry) {
+	var scrubC, canaryC <-chan time.Time
+	if e.scrub != nil && r.cfg.ScrubInterval > 0 {
+		t := time.NewTicker(r.cfg.ScrubInterval)
+		defer t.Stop()
+		scrubC = t.C
+	}
+	if e.canary != nil && r.cfg.CanaryEvery > 0 {
+		t := time.NewTicker(r.cfg.CanaryEvery)
+		defer t.Stop()
+		canaryC = t.C
+	}
+	if scrubC == nil && canaryC == nil {
+		return
+	}
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-scrubC:
+			if bad := e.scrub.Scrub(); len(bad) > 0 {
+				reason := "scrub mismatch in " + strings.Join(bad, ", ")
+				if cerr := e.canary.Check(); cerr != nil {
+					reason += fmt.Sprintf("; confirmed: %v", cerr)
+				}
+				r.quarantine(e, reason)
+				return
+			}
+		case <-canaryC:
+			if cerr := e.canary.Check(); cerr != nil {
+				r.quarantine(e, fmt.Sprintf("canary: %v", cerr))
+				return
+			}
+		}
+	}
+}
+
+// quarantine flips the entry into quarantine (the HTTP layer starts
+// shedding its traffic immediately) and spawns the heal loop.
+func (r *registry) quarantine(e *entry, reason string) {
+	if !e.markQuarantined(reason) {
+		return
+	}
+	go r.heal(e)
+}
+
+// heal replaces a quarantined entry with a fresh compile from the
+// artifact. The candidate compiles entirely off-map — requests keep
+// getting fast 503s from the quarantined entry, never a slow block on
+// the recompile — and is swapped in only if it comes out healthy
+// (compile succeeded AND its own startup canary passed; under an
+// injected fault burst the first candidates may be corrupted too, until
+// the WeightFlipLimit budget runs out). The swap is identity-checked
+// under the registry lock so a concurrent shutdown or entry replacement
+// aborts the heal instead of resurrecting a retired slot.
+//
+//snapea:runtime
+func (r *registry) heal(old *entry) {
+	lbl := metrics.Labels{"model": old.key.Model, "mode": old.key.Mode}
+	for {
+		r.mu.Lock()
+		live := !r.closed && r.entries[old.key] == old
+		r.mu.Unlock()
+		if !live {
+			return
+		}
+		fresh := newEntry(old.key)
+		r.compile(fresh) // closes fresh.ready itself
+		if fresh.err == nil && !fresh.quarantined.Load() {
+			r.mu.Lock()
+			if r.closed || r.entries[old.key] != old {
+				r.mu.Unlock()
+				fresh.retire()
+				return
+			}
+			r.entries[old.key] = fresh
+			r.mu.Unlock()
+			old.retire()
+			if metrics.Enabled() {
+				metrics.RC("integrity.heals", lbl).Add(1)
+				metrics.RG("integrity.quarantined", lbl).Set(0)
+			}
+			go r.sentinel(fresh)
+			return
+		}
+		fresh.retire()
+		if metrics.Enabled() {
+			metrics.RC("integrity.heal_failures", lbl).Add(1)
+		}
+		select {
+		case <-old.stop:
+			return
+		case <-time.After(r.cfg.HealBackoff):
+		}
+	}
 }
 
 // list returns the successfully compiled entries, sorted by key, for
@@ -299,8 +552,6 @@ func (r *registry) close() {
 	r.mu.Unlock()
 	for _, e := range entries {
 		<-e.ready
-		if e.batcher != nil {
-			e.batcher.close()
-		}
+		e.retire()
 	}
 }

@@ -50,6 +50,9 @@ import (
 var (
 	errUnknownModel = errors.New("serve: unknown model")
 	errBadRequest   = errors.New("serve: bad request")
+	// errQuarantined maps to 503: the model's integrity layer detected
+	// corruption and is healing it; clients should retry after the hint.
+	errQuarantined = errors.New("serve: model quarantined")
 )
 
 // Config parameterizes a Server.
@@ -115,6 +118,30 @@ type Config struct {
 	// Faults, when enabled, compiles every network through the fault
 	// injector — chaos testing for the serving path.
 	Faults faults.Config
+
+	// Integrity layer (see internal/integrity and DESIGN.md, "Integrity
+	// and self-healing").
+
+	// ScrubInterval is the cadence of the background scrubber re-hashing
+	// each served model's compiled state against its load-time digests
+	// (default 30s; <0 disables scrubbing).
+	ScrubInterval time.Duration
+	// ScrubMBps bounds the scrubber's re-hash rate in MB/s so scrubbing
+	// never starves the serving path of memory bandwidth (default 64;
+	// <0 unthrottled).
+	ScrubMBps float64
+	// CanaryEvery is the cadence of the canary self-test replaying each
+	// model's golden probe (default 60s; <0 disables the canary entirely,
+	// startup check included — required for chaos configs that
+	// intentionally serve corrupted activations).
+	CanaryEvery time.Duration
+	// RequireChecksums rejects weights and params artifacts that carry no
+	// checksum trailer/block; by default legacy artifacts load unchecked.
+	RequireChecksums bool
+	// HealBackoff is the delay between failed heal attempts for a
+	// quarantined model, and the Retry-After hint on its 503s
+	// (default 1s).
+	HealBackoff time.Duration
 }
 
 func (c Config) normalize() Config {
@@ -159,6 +186,18 @@ func (c Config) normalize() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 42
+	}
+	if c.ScrubInterval == 0 {
+		c.ScrubInterval = 30 * time.Second
+	}
+	if c.ScrubMBps == 0 {
+		c.ScrubMBps = 64
+	}
+	if c.CanaryEvery == 0 {
+		c.CanaryEvery = 60 * time.Second
+	}
+	if c.HealBackoff <= 0 {
+		c.HealBackoff = time.Second
 	}
 	return c
 }
@@ -269,8 +308,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		// broken model does not flip overall readiness (the server still
 		// serves its other models), but operators see it here.
 		for _, e := range s.reg.list() {
-			fmt.Fprintf(w, "%s breaker=%s degraded=%v\n",
-				e.key, e.breaker.State(), e.guard.Degraded())
+			fmt.Fprintf(w, "%s breaker=%s degraded=%v quarantined=%v\n",
+				e.key, e.breaker.State(), e.guard.Degraded(), e.quarantined.Load())
 		}
 	}
 }
@@ -292,6 +331,9 @@ type modelInfo struct {
 	Breaker string `json:"breaker"`
 	// Degraded reports the accuracy guardrail forcing exact execution.
 	Degraded bool `json:"degraded"`
+	// Quarantined reports the integrity layer holding the model out of
+	// service while it heals.
+	Quarantined bool `json:"quarantined"`
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -303,8 +345,9 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			InputShape: e.inShape.String(),
 			InputElems: e.inShape.Elems(),
 			Classes:    e.classes,
-			Breaker:    e.breaker.State().String(),
-			Degraded:   e.guard.Degraded(),
+			Breaker:     e.breaker.State().String(),
+			Degraded:    e.guard.Degraded(),
+			Quarantined: e.quarantined.Load(),
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -353,6 +396,21 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	e, err := s.reg.get(ctx, modelKey{Model: model, Mode: mode})
 	if err != nil {
 		s.fail(w, r, statusOf(err), err)
+		return
+	}
+
+	// Quarantine gate: a model whose integrity layer detected corruption
+	// sheds all traffic with a fast 503 — never a wrong answer — while
+	// the heal loop recompiles it from the artifact. The Retry-After hint
+	// is the heal backoff, the soonest a replacement could be serving.
+	if e.quarantined.Load() {
+		w.Header().Set("Retry-After", retryAfter(s.cfg.HealBackoff))
+		w.Header().Set("X-Snapea-Quarantined", "1")
+		if metrics.Enabled() {
+			metrics.RC("integrity.quarantine_rejects", metrics.Labels{"model": model, "mode": mode}).Add(1)
+		}
+		s.fail(w, r, http.StatusServiceUnavailable,
+			fmt.Errorf("%w: %s", errQuarantined, e.quarantineReason()))
 		return
 	}
 
@@ -500,7 +558,8 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrShuttingDown), errors.Is(err, resilience.ErrOpen):
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, resilience.ErrOpen),
+		errors.Is(err, errQuarantined):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, errUnknownModel):
 		return http.StatusNotFound

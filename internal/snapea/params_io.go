@@ -1,10 +1,13 @@
 package snapea
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
+
+	"snapea/internal/integrity"
 )
 
 // ParamsFile is the on-disk artifact Algorithm 1 produces: the
@@ -18,6 +21,36 @@ type ParamsFile struct {
 	FinalAcc   float64                `json:"final_accuracy"`
 	Predictive []string               `json:"predictive_layers"`
 	Layers     map[string]LayerParams `json:"layers"`
+	// Checksums is the optional integrity block: one CRC32C per layer
+	// over the canonical parameter encoding (see ChecksumLayerParams).
+	// Marshal always writes it; ParseParams verifies it when present
+	// and accepts legacy files without it unless checksums are required.
+	Checksums *ParamsChecksums `json:"checksums,omitempty"`
+}
+
+// ParamsChecksums is a params file's integrity block.
+type ParamsChecksums struct {
+	Algo   string            `json:"algo"`
+	Layers map[string]string `json:"layers"`
+}
+
+// ChecksumAlgo is the only algorithm a params checksum block may name.
+const ChecksumAlgo = "crc32c"
+
+// ChecksumLayerParams digests one layer's speculation parameters in
+// their canonical encoding: per kernel, Th as little-endian float32
+// bits then N as a little-endian 64-bit integer. Hashing the decoded
+// values rather than JSON text keeps the checksum stable across
+// re-marshals (indentation, field order, float formatting).
+func ChecksumLayerParams(params LayerParams) uint32 {
+	var b [12]byte
+	crc := uint32(0)
+	for _, p := range params {
+		binary.LittleEndian.PutUint32(b[0:], math.Float32bits(p.Th))
+		binary.LittleEndian.PutUint64(b[4:], uint64(p.N))
+		crc = integrity.Update(crc, b[:])
+	}
+	return crc
 }
 
 // File packages an optimizer result for serialization.
@@ -39,8 +72,19 @@ func (r *Result) File(network string, eps float64) *ParamsFile {
 	return f
 }
 
-// Marshal renders the file as indented JSON.
+// Marshal renders the file as indented JSON, recomputing the checksum
+// block first so the serialized artifact is always self-verifying.
 func (f *ParamsFile) Marshal() ([]byte, error) {
+	sums := &ParamsChecksums{Algo: ChecksumAlgo, Layers: make(map[string]string, len(f.Layers))}
+	nodes := make([]string, 0, len(f.Layers))
+	for node := range f.Layers {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		sums.Layers[node] = fmt.Sprintf("%08x", ChecksumLayerParams(f.Layers[node]))
+	}
+	f.Checksums = sums
 	return json.MarshalIndent(f, "", "  ")
 }
 
@@ -53,10 +97,16 @@ const MaxN = 1 << 16
 // ParseParams reads a serialized parameters file and validates its
 // structural invariants: sane layer/kernel counts, N within [0, MaxN],
 // finite thresholds, finite accuracy metadata, and predictive entries
-// that name stored layers. Errors identify the offending layer and
-// kernel index. Use ParamsFile.Check to additionally validate against a
-// concrete model.
-func ParseParams(data []byte) (*ParamsFile, error) {
+// that name stored layers. A checksum block, when present, is verified;
+// legacy files without one are accepted. Errors identify the offending
+// layer and kernel index. Use ParamsFile.Check to additionally validate
+// against a concrete model.
+func ParseParams(data []byte) (*ParamsFile, error) { return ParseParamsChecked(data, false) }
+
+// ParseParamsChecked is ParseParams with checksum policy:
+// requireChecksums rejects legacy files that carry no checksum block,
+// the loader side of the serving tier's -require-checksums flag.
+func ParseParamsChecked(data []byte, requireChecksums bool) (*ParamsFile, error) {
 	var f ParamsFile
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("snapea: parse params: %w", err)
@@ -94,5 +144,51 @@ func ParseParams(data []byte) (*ParamsFile, error) {
 			return nil, fmt.Errorf("snapea: predictive layer %q has no parameters", node)
 		}
 	}
+	if err := f.verifyChecksums(requireChecksums); err != nil {
+		return nil, err
+	}
 	return &f, nil
+}
+
+// verifyChecksums validates the checksum block against the decoded
+// parameters. Iteration is over sorted layer names so the first error
+// reported is deterministic.
+func (f *ParamsFile) verifyChecksums(required bool) error {
+	if f.Checksums == nil {
+		if required {
+			return fmt.Errorf("snapea: params file has no checksums block (checksums required)")
+		}
+		return nil
+	}
+	if f.Checksums.Algo != ChecksumAlgo {
+		return fmt.Errorf("snapea: unsupported params checksum algo %q (want %s)", f.Checksums.Algo, ChecksumAlgo)
+	}
+	nodes := make([]string, 0, len(f.Layers))
+	for node := range f.Layers {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		stored, ok := f.Checksums.Layers[node]
+		if !ok {
+			return fmt.Errorf("snapea: layer %q has no checksum entry", node)
+		}
+		if computed := fmt.Sprintf("%08x", ChecksumLayerParams(f.Layers[node])); stored != computed {
+			return fmt.Errorf("snapea: layer %q checksum mismatch: stored %s, computed %s (artifact corrupted)",
+				node, stored, computed)
+		}
+	}
+	if extra := len(f.Checksums.Layers) - len(f.Layers); extra > 0 {
+		sums := make([]string, 0, len(f.Checksums.Layers))
+		for node := range f.Checksums.Layers {
+			sums = append(sums, node)
+		}
+		sort.Strings(sums)
+		for _, node := range sums {
+			if _, ok := f.Layers[node]; !ok {
+				return fmt.Errorf("snapea: checksum entry for unknown layer %q", node)
+			}
+		}
+	}
+	return nil
 }

@@ -114,6 +114,13 @@ func TestOptimizerOutputPassesValidation(t *testing.T) {
 // satisfy the invariants ParseParams promises.
 func FuzzLoadParams(f *testing.F) {
 	f.Add([]byte(validParamsJSON()))
+	if pf, err := ParseParams([]byte(validParamsJSON())); err == nil {
+		if data, err := pf.Marshal(); err == nil {
+			f.Add(data) // checksummed variant of the valid seed
+		}
+	}
+	f.Add([]byte(`{"layers": {"c": [{"th": 0, "n": 1}]}, "checksums": {"algo": "crc32c", "layers": {"c": "00000000"}}}`))
+	f.Add([]byte(`{"layers": {"c": [{"th": 0, "n": 1}]}, "checksums": {"algo": "md5", "layers": {}}}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"layers": {"c": [{"th": 0, "n": -1}]}}`))
 	f.Add([]byte(`{"layers": {"c": [{"th": 0, "n": 999999}]}}`))

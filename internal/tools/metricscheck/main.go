@@ -18,6 +18,13 @@
 // gateway.* counter is non-negative, and the hedge accounting must be
 // internally consistent (hedges_won + hedges_wasted ≤ hedges_fired).
 //
+// With -integrity it validates the integrity layer's metrics: the
+// integrity.quarantined gauge is boolean per label set, every
+// integrity.* counter is non-negative, and the detect→quarantine→heal
+// accounting is internally consistent (heals never exceed quarantines,
+// and every quarantine traces back to a scrub mismatch or canary
+// failure). The integrity smoke runs it on every phase's snapshot.
+//
 // -max-ratio NUM/DEN=LIMIT asserts that the runtime counter NUM summed
 // across label sets is at most LIMIT times the runtime counter DEN —
 // the cluster smoke uses it to prove the hedge budget held
@@ -61,6 +68,7 @@ func main() {
 	nonzeroRT := flag.String("nonzero-runtime", "", "comma-separated runtime-section counter names that must sum to a positive value")
 	resilience := flag.Bool("resilience", false, "validate the serve.breaker_*/serve.degraded supervision metrics' value domains")
 	gateway := flag.Bool("gateway", false, "validate the gateway.* cluster-tier metrics' value domains and hedge accounting")
+	integrity := flag.Bool("integrity", false, "validate the integrity.* metrics' value domains and quarantine/heal accounting")
 	maxRatio := flag.String("max-ratio", "", "comma-separated NUM/DEN=LIMIT assertions over runtime counters (e.g. gateway.hedges_fired/gateway.requests=0.1)")
 	version := flag.Int("version", 1, "required snapshot schema version")
 	flag.Parse()
@@ -95,6 +103,9 @@ func main() {
 	}
 	if *gateway {
 		bad += checkGateway(path, rt, gauges)
+	}
+	if *integrity {
+		bad += checkIntegrity(path, rt, gauges)
 	}
 	bad += checkRatios(path, rt, *maxRatio)
 	if bad > 0 {
@@ -211,6 +222,44 @@ func checkGateway(path string, counters, gauges []point) int {
 	if settled, fired := sums["gateway.hedges_won"]+sums["gateway.hedges_wasted"], sums["gateway.hedges_fired"]; settled > fired {
 		fmt.Fprintf(os.Stderr, "metricscheck: %s: hedges won+wasted = %d exceeds hedges fired %d\n",
 			path, settled, fired)
+		bad++
+	}
+	return bad
+}
+
+// checkIntegrity validates the integrity layer's metric domains: the
+// quarantined gauge is boolean, counters never go negative, and the
+// lifecycle accounting holds — a heal requires a quarantine, and a
+// quarantine requires a detection (scrub mismatch or canary failure).
+func checkIntegrity(path string, counters, gauges []point) int {
+	bad := 0
+	for _, p := range gauges {
+		if p.Name == "integrity.quarantined" && p.Value != 0 && p.Value != 1 {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: gauge %q%v = %d, want 0 or 1\n",
+				path, p.Name, p.Labels, p.Value)
+			bad++
+		}
+	}
+	sums := make(map[string]int64)
+	for _, p := range counters {
+		if !strings.HasPrefix(p.Name, "integrity.") {
+			continue
+		}
+		if p.Value < 0 {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: counter %q%v = %d, want >= 0\n",
+				path, p.Name, p.Labels, p.Value)
+			bad++
+		}
+		sums[p.Name] += p.Value
+	}
+	if heals, quars := sums["integrity.heals"], sums["integrity.quarantines"]; heals > quars {
+		fmt.Fprintf(os.Stderr, "metricscheck: %s: integrity.heals %d exceeds integrity.quarantines %d\n",
+			path, heals, quars)
+		bad++
+	}
+	if quars, detections := sums["integrity.quarantines"], sums["integrity.scrub_mismatches"]+sums["integrity.canary_failures"]; quars > detections {
+		fmt.Fprintf(os.Stderr, "metricscheck: %s: integrity.quarantines %d exceeds detections %d (scrub mismatches + canary failures)\n",
+			path, quars, detections)
 		bad++
 	}
 	return bad

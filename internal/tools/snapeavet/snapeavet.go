@@ -127,6 +127,7 @@ func DefaultConfig(modPath string) Config {
 			"nn.gemm.scratch_": "runtime",
 			"serve.":           "runtime",
 			"gateway.":         "runtime",
+			"integrity.":       "runtime",
 			"metrics.":         "runtime",
 			"experiment.":      "deterministic",
 		},
